@@ -1,0 +1,30 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper on the
+simulated testbeds, prints the series it measured, writes a CSV under
+``benchmarks/results/``, and asserts the paper's *shape* claims (who wins,
+by roughly what factor, where the crossovers fall).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: All five protocols, in the paper's presentation order.
+ALL_PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+
+#: The group sizes sampled along the paper's 0-50 member x-axis.
+FIGURE_SIZES = (2, 4, 8, 13, 20, 26, 33, 40, 50)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, fn):
+    """Run an expensive simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Figure 13: the WAN testbed — JHU, UCI and ICU with the paper's
+round-trip latencies (35 / 150 / 135 ms) and thirteen machines.
+
+This "figure" is a topology, so its reproduction is a validation that the
+simulated WAN testbed has exactly the paper's geometry, plus the derived
+quantities (token ring cycle) the other WAN benchmarks depend on.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.gcs import GcsWorld
+from repro.gcs.ring import TokenRing
+from repro.gcs.topology import wan_testbed
+
+
+def _ping_matrix():
+    topo = wan_testbed()
+    probes = {
+        ("JHU", "UCI"): (topo.machine("jhu0"), topo.machine("uci0")),
+        ("UCI", "ICU"): (topo.machine("uci0"), topo.machine("icu0")),
+        ("ICU", "JHU"): (topo.machine("icu0"), topo.machine("jhu0")),
+    }
+    return {pair: topo.round_trip_ms(a, b) for pair, (a, b) in probes.items()}
+
+
+def test_fig13_round_trip_latencies(benchmark, results_dir):
+    matrix = run_once(benchmark, _ping_matrix)
+    print()
+    print("Figure 13: WAN testbed round-trip latencies (simulated ping)")
+    for (src, dst), rtt in matrix.items():
+        print(f"  {src} - {dst}: {rtt:6.1f} ms")
+    with open(f"{results_dir}/fig13_topology.txt", "w") as handle:
+        for (src, dst), rtt in matrix.items():
+            handle.write(f"{src}-{dst},{rtt:.1f}\n")
+    assert matrix[("JHU", "UCI")] == pytest.approx(35.0)
+    assert matrix[("UCI", "ICU")] == pytest.approx(150.0)
+    assert matrix[("ICU", "JHU")] == pytest.approx(135.0)
+
+
+def test_fig13_machine_distribution():
+    topo = wan_testbed()
+    by_site = {}
+    for machine in topo.machines:
+        by_site.setdefault(machine.site, []).append(machine)
+    assert len(by_site["jhu"]) == 11
+    assert len(by_site["uci"]) == 1
+    assert len(by_site["icu"]) == 1
+
+
+def test_fig13_token_cycle_dominated_by_transcontinental_links():
+    world = GcsWorld(wan_testbed())
+    topo = world.topology
+    ring = TokenRing(topo, topo.machines, world.sim)
+    # One-way sum of the site triangle: 17.5 + 75 + 67.5 = 160 ms.
+    assert 158 < ring.cycle_ms < 165

@@ -1,0 +1,93 @@
+"""Future work B (§7): partition and merge events.
+
+The paper measured only join and leave ("we also need to experiment with
+more complex group operations such as partition and merge").  This
+benchmark injects real network partitions and heals on both testbeds and
+measures the rekey latency of every protocol, checking the conceptual
+expectations of §5: GDH merge pays a round per merging member, BD pays
+all-to-all broadcasts, the tree protocols stay constant-round.
+"""
+
+import pytest
+
+from conftest import ALL_PROTOCOLS, run_once
+from repro.core import SecureSpreadFramework
+from repro.gcs.topology import lan_testbed, wan_testbed
+
+GROUP_SIZE = 12
+SPLIT = [0, 1, 2, 3]  # machines carved out by the partition
+
+
+def _measure(topology_factory, protocol):
+    framework = SecureSpreadFramework(
+        topology_factory(), default_protocol=protocol, dh_group="dh-512"
+    )
+    members = framework.spawn_members(GROUP_SIZE)
+    for member in members:
+        member.join()
+        framework.run_until_idle()
+    machine_count = len(framework.world.topology.machines)
+    majority = [i for i in range(machine_count) if i not in SPLIT]
+    framework.timeline.mark_event(framework.now)
+    framework.world.partition([SPLIT, majority])
+    framework.run_until_idle()
+    partition_record = framework.timeline.latest_complete()
+    framework.timeline.mark_event(framework.now)
+    framework.world.heal()
+    framework.run_until_idle()
+    merge_record = framework.timeline.latest_complete()
+    keys = {m.key_bytes for m in members}
+    assert len(keys) == 1, f"{protocol}: keys diverged after merge"
+    return partition_record.total_elapsed(), merge_record.total_elapsed()
+
+
+@pytest.fixture(scope="module")
+def lan_results():
+    return {p: _measure(lan_testbed, p) for p in ALL_PROTOCOLS}
+
+
+@pytest.fixture(scope="module")
+def wan_results():
+    return {p: _measure(wan_testbed, p) for p in ALL_PROTOCOLS}
+
+
+def test_partition_merge_lan(benchmark, results_dir, lan_results):
+    results = run_once(benchmark, lambda: lan_results)
+    print("\nPartition & merge rekey latency, n=12, LAN (ms):")
+    print(f"{'protocol':8s} {'partition':>10s} {'merge':>10s}")
+    with open(f"{results_dir}/future_partition_merge_lan.csv", "w") as handle:
+        handle.write("protocol,partition_ms,merge_ms\n")
+        for protocol, (part, merge) in results.items():
+            print(f"{protocol:8s} {part:10.1f} {merge:10.1f}")
+            handle.write(f"{protocol},{part:.1f},{merge:.1f}\n")
+    # Subtractive events: single-broadcast protocols beat BD.  (CKD is
+    # excluded: this partition removes its controller — the oldest member
+    # on machine 0 — forcing full channel re-establishment, §4.2.)
+    for protocol in ("GDH", "TGDH"):
+        assert results[protocol][0] < results["BD"][0]
+    assert results["CKD"][0] < 2.5 * results["BD"][0]
+    # Everything completes within a second on the LAN.
+    for part, merge in results.values():
+        assert part < 1000 and merge < 1000
+
+
+def test_partition_merge_wan(benchmark, results_dir, wan_results):
+    results = run_once(benchmark, lambda: wan_results)
+    print("\nPartition & merge rekey latency, n=12, WAN (ms):")
+    print(f"{'protocol':8s} {'partition':>10s} {'merge':>10s}")
+    with open(f"{results_dir}/future_partition_merge_wan.csv", "w") as handle:
+        handle.write("protocol,partition_ms,merge_ms\n")
+        for protocol, (part, merge) in results.items():
+            print(f"{protocol:8s} {part:10.1f} {merge:10.1f}")
+            handle.write(f"{protocol},{part:.1f},{merge:.1f}\n")
+    # GDH's merge pays one token round per merging member: on the WAN it
+    # is the costliest merge by a clear margin.
+    gdh_merge = results["GDH"][1]
+    for protocol in ("CKD", "STR", "TGDH"):
+        assert gdh_merge > results[protocol][1]
+
+
+def test_merge_costlier_than_partition_for_gdh(wan_results):
+    """§5: GDH partition is one broadcast; its merge is m+3 rounds."""
+    partition_ms, merge_ms = wan_results["GDH"]
+    assert merge_ms > partition_ms

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: a secure group on the paper's LAN testbed in ~30 lines.
+
+Creates a Secure Spread deployment on the simulated 13-machine LAN
+cluster, forms a 4-member group keyed with TGDH (the paper's recommended
+protocol), exchanges encrypted application messages, and rekeys on a
+leave.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SecureSpreadFramework
+from repro.gcs.topology import lan_testbed
+
+
+def main():
+    framework = SecureSpreadFramework(
+        lan_testbed(), default_protocol="TGDH", dh_group="dh-512"
+    )
+
+    # Four member processes on four different machines join the group.
+    members = framework.spawn_members(4, group_name="demo")
+    for member in members:
+        framework.timeline.mark_event(framework.now)
+        member.join()
+        framework.run_until_idle()
+        record = framework.timeline.latest_complete()
+        print(
+            f"{member.name} joined: {len(record.members)} members, "
+            f"rekeyed in {record.total_elapsed():.1f} ms "
+            f"(membership {record.membership_elapsed():.1f} ms)"
+        )
+
+    alice, bob, carol, dave = members
+    assert len({m.key_bytes for m in members}) == 1
+    print(f"\nshared group key: {alice.key_bytes.hex()[:32]}…")
+
+    # Application data is encrypted under the group key.
+    alice.send_secure(b"The package is in the usual place.")
+    framework.run_until_idle()
+    for member in (bob, carol, dave):
+        sender, plaintext = member.inbox[-1]
+        print(f"{member.name} received from {sender}: {plaintext.decode()}")
+
+    # A leave triggers an automatic rekey; the old key is gone.
+    old_key = alice.key_bytes
+    framework.timeline.mark_event(framework.now)
+    dave.leave()
+    framework.run_until_idle()
+    record = framework.timeline.latest_complete()
+    print(
+        f"\ndave left: rekeyed in {record.total_elapsed():.1f} ms; "
+        f"key changed: {alice.key_bytes != old_key}"
+    )
+
+
+if __name__ == "__main__":
+    main()

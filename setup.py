@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (pip falls back to the setup.py develop path when
+PEP 517 is disabled); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

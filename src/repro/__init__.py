@@ -1,0 +1,24 @@
+"""Reproduction of *On the Performance of Group Key Agreement Protocols*
+(Amir, Kim, Nita-Rotaru, Tsudik — ICDCS 2002).
+
+The package implements the full Secure Spread stack described in the paper:
+
+* :mod:`repro.crypto` — cryptographic substrate (Schnorr groups, DH, RSA
+  signatures, KDF) with per-operation accounting and a calibrated cost model.
+* :mod:`repro.sim` — deterministic discrete-event simulation engine with a
+  multi-core CPU contention model.
+* :mod:`repro.gcs` — a Spread-like group communication system: token-ring
+  Agreed (total-order) multicast, view-synchronous membership, partitions
+  and merges, on simulated LAN/WAN testbeds.
+* :mod:`repro.protocols` — the five group key agreement protocols evaluated
+  by the paper: GDH (Cliques IKA.3), CKD, BD, TGDH and STR.
+* :mod:`repro.core` — the Secure Spread framework tying the protocols to the
+  group communication system, with group-data encryption.
+* :mod:`repro.analysis` — the paper's conceptual cost model (Table 1).
+* :mod:`repro.bench` — the experiment harness regenerating the paper's
+  tables and figures.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

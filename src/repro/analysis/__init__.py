@@ -1,0 +1,22 @@
+"""The paper's conceptual cost analysis (§5, Table 1).
+
+:mod:`repro.analysis.costs` gives closed-form communication and computation
+costs for all five protocols and all four membership events, re-derived
+from this repository's implementations and cross-validated against
+instrumented protocol runs by the test-suite.  :mod:`repro.analysis.table1`
+renders the Table 1 grid; :mod:`repro.analysis.predict` turns formulas into
+analytic time predictions for sanity-checking the simulator.
+"""
+
+from repro.analysis.costs import EventCost, conceptual_cost, EVENTS
+from repro.analysis.predict import predict_elapsed_ms
+from repro.analysis.table1 import render_table1, table1_rows
+
+__all__ = [
+    "EventCost",
+    "conceptual_cost",
+    "EVENTS",
+    "predict_elapsed_ms",
+    "render_table1",
+    "table1_rows",
+]

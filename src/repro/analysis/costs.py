@@ -1,0 +1,276 @@
+"""Closed-form per-event costs: our re-derivation of the paper's Table 1.
+
+Conventions (matching the paper):
+
+* ``n`` — group size *before* the event;
+* ``m`` — number of merging members (1 for a join);
+* ``p`` — number of leaving members (1 for a leave);
+* ``h`` — key tree height (TGDH); ``O(log n)`` under the insertion
+  heuristic;
+* *serial* exponentiations — the busiest single member (computation that
+  cannot be parallelized across members), the measure §5 uses.
+
+Formulas are **exact for this implementation** where the cost is
+shape-independent, and stated as worst-case *bounds* where it depends on
+tree shape or leaver position (TGDH everywhere, STR's subtractive events).
+The test-suite replays every formula against instrumented protocol runs.
+
+Differences from the paper's Table 1 worth knowing about (also discussed
+in EXPERIMENTS.md): our GDH join takes ``n+3`` messages and four rounds
+exactly as the paper says, but we additionally count the *final* key
+computation exponentiation at each member, so some computation entries are
+one or two higher than the paper's; TGDH join completes in 2 messages when
+the tree is full (the graft lands at the root), where the paper lists the
+general 3-message case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.gcs.messages import ViewEvent
+
+EVENTS = (ViewEvent.JOIN, ViewEvent.LEAVE, ViewEvent.MERGE, ViewEvent.PARTITION)
+
+
+@dataclass(frozen=True)
+class EventCost:
+    """Conceptual cost of one membership event for one protocol.
+
+    ``exact`` is False when an entry is a worst-case bound (tree-shape or
+    position dependent) rather than an exact count.
+    """
+
+    protocol: str
+    event: ViewEvent
+    rounds: int
+    messages: int
+    unicasts: int
+    multicasts: int
+    serial_exponentiations: int
+    total_exponentiations: int
+    signatures: int
+    verifications: int
+    exact: bool = True
+
+
+def _height(members: int) -> int:
+    """Worst-case key tree height after sequential joins (≤ 2·log2 n)."""
+    if members <= 1:
+        return 0
+    return 2 * math.ceil(math.log2(members))
+
+
+def conceptual_cost(
+    protocol: str,
+    event: ViewEvent,
+    n: int,
+    m: int = 1,
+    p: int = 1,
+    str_sponsor_position: Optional[int] = None,
+) -> EventCost:
+    """The Table 1 entry for ``protocol`` × ``event`` at the given sizes.
+
+    ``str_sponsor_position`` overrides STR's leave sponsor position
+    (defaults to the paper's average case: the middle member leaves).
+    """
+    if protocol not in _BUILDERS:
+        raise KeyError(f"unknown protocol {protocol!r}")
+    if event not in EVENTS:
+        raise ValueError(f"unsupported event {event}")
+    if n < 2:
+        raise ValueError("conceptual costs need a group of at least 2")
+    if event is ViewEvent.LEAVE and n < 3:
+        raise ValueError("leave formulas need at least 2 survivors")
+    if event is ViewEvent.PARTITION and n - p < 2:
+        raise ValueError("partition formulas need at least 2 survivors")
+    return _BUILDERS[protocol](event, n, m, p, str_sponsor_position)
+
+
+# ---------------------------------------------------------------------------
+# per-protocol builders
+# ---------------------------------------------------------------------------
+
+
+def _bd(event, n, m, p, _s) -> EventCost:
+    if event is ViewEvent.JOIN:
+        size = n + 1
+    elif event is ViewEvent.MERGE:
+        size = n + m
+    elif event is ViewEvent.LEAVE:
+        size = n - 1
+    else:
+        size = n - p
+    return EventCost(
+        protocol="BD",
+        event=event,
+        rounds=2,
+        messages=2 * size,
+        unicasts=0,
+        multicasts=2 * size,
+        serial_exponentiations=3,
+        total_exponentiations=3 * size,
+        signatures=2,
+        verifications=2 * (size - 1),
+        exact=True,
+    )
+
+
+def _gdh(event, n, m, p, _s) -> EventCost:
+    if event in (ViewEvent.JOIN, ViewEvent.MERGE):
+        mm = 1 if event is ViewEvent.JOIN else m
+        return EventCost(
+            protocol="GDH",
+            event=event,
+            rounds=mm + 3,
+            messages=n + 2 * mm + 1,
+            unicasts=mm,
+            multicasts=n + mm + 1,
+            serial_exponentiations=n + mm,  # the new controller
+            total_exponentiations=3 * n + 4 * mm - 2,
+            signatures=n + 2 * mm + 1,
+            verifications=2 * (n + mm) - 1,
+            exact=True,
+        )
+    pp = 1 if event is ViewEvent.LEAVE else p
+    survivors = n - pp
+    return EventCost(
+        protocol="GDH",
+        event=event,
+        rounds=1,
+        messages=1,
+        unicasts=0,
+        multicasts=1,
+        serial_exponentiations=survivors,  # the controller
+        total_exponentiations=2 * survivors - 1,
+        signatures=1,
+        verifications=survivors - 1,
+        exact=True,
+    )
+
+
+def _ckd(event, n, m, p, _s) -> EventCost:
+    if event in (ViewEvent.JOIN, ViewEvent.MERGE):
+        mm = 1 if event is ViewEvent.JOIN else m
+        return EventCost(
+            protocol="CKD",
+            event=event,
+            rounds=3,
+            messages=mm + 2,
+            unicasts=mm,
+            multicasts=2,
+            serial_exponentiations=n + 2 * mm,  # the controller
+            total_exponentiations=2 * n + 5 * mm - 1,
+            signatures=mm + 2,
+            verifications=n + 3 * mm - 1,
+            exact=True,
+        )
+    pp = 1 if event is ViewEvent.LEAVE else p
+    survivors = n - pp
+    return EventCost(
+        protocol="CKD",
+        event=event,
+        rounds=1,
+        messages=1,
+        unicasts=0,
+        multicasts=1,
+        serial_exponentiations=survivors,  # the controller
+        total_exponentiations=2 * survivors - 1,
+        signatures=1,
+        verifications=survivors - 1,
+        exact=True,
+    )
+
+
+def _tgdh(event, n, m, p, _s) -> EventCost:
+    if event in (ViewEvent.JOIN, ViewEvent.MERGE):
+        mm = 1 if event is ViewEvent.JOIN else m
+        h = _height(n + mm) + 1
+        return EventCost(
+            protocol="TGDH",
+            event=event,
+            rounds=2 if event is ViewEvent.JOIN else h + 1,
+            messages=3 if event is ViewEvent.JOIN else 2 * mm + h,
+            unicasts=0,
+            multicasts=3 if event is ViewEvent.JOIN else 2 * mm + h,
+            serial_exponentiations=2 * h + 1,  # the sponsor's path
+            total_exponentiations=(n + mm) * h + 2 * h,
+            signatures=3 if event is ViewEvent.JOIN else 2 * mm + h,
+            verifications=3 if event is ViewEvent.JOIN else 2 * mm + h,
+            exact=False,  # tree-shape dependent upper bound
+        )
+    pp = 1 if event is ViewEvent.LEAVE else p
+    h = _height(n)
+    rounds = 1 if event is ViewEvent.LEAVE else min(h, pp)
+    messages = 1 if event is ViewEvent.LEAVE else min(2 * h, 2 * pp + 1)
+    return EventCost(
+        protocol="TGDH",
+        event=event,
+        rounds=max(rounds, 1),
+        messages=max(messages, 1),
+        unicasts=0,
+        multicasts=max(messages, 1),
+        serial_exponentiations=2 * h,  # the sponsor's path
+        total_exponentiations=(n - pp) * h,
+        signatures=max(messages, 1),
+        verifications=max(messages, 1),
+        exact=False,  # tree-shape dependent upper bound
+    )
+
+
+def _str(event, n, m, p, sponsor_position) -> EventCost:
+    if event in (ViewEvent.JOIN, ViewEvent.MERGE):
+        mm = 1 if event is ViewEvent.JOIN else m
+        # Components: the base group plus each merging subgroup; with mm
+        # fresh joiners there are mm singleton components.
+        round1_messages = 1 + mm if event is ViewEvent.MERGE else 2
+        if event is ViewEvent.JOIN:
+            total = 2 * n + 6
+        else:
+            # Worst case: every merging member is its own component.
+            total = (n + mm) * (mm + 1) + 3 * mm + 5
+        return EventCost(
+            protocol="STR",
+            event=event,
+            rounds=2,
+            messages=round1_messages + 1,
+            unicasts=0,
+            multicasts=round1_messages + 1,
+            serial_exponentiations=2 * mm + 3,  # the round-2 sponsor
+            total_exponentiations=total,
+            signatures=round1_messages + 1,
+            verifications=round1_messages + 1,
+            exact=event is ViewEvent.JOIN,
+        )
+    pp = 1 if event is ViewEvent.LEAVE else p
+    survivors = n - pp
+    s = sponsor_position if sponsor_position is not None else max(survivors // 2, 1)
+    sponsor_exps = 2 * (survivors - s) + 3
+    # Members below the sponsor recompute survivors - s + 1 keys each.
+    total = sponsor_exps + (s - 1) * (survivors - s + 1)
+    for position in range(s + 1, survivors + 1):
+        total += survivors - position + 1
+    return EventCost(
+        protocol="STR",
+        event=event,
+        rounds=1,
+        messages=1,
+        unicasts=0,
+        multicasts=1,
+        serial_exponentiations=sponsor_exps,
+        total_exponentiations=total,
+        signatures=1,
+        verifications=survivors - 1,
+        exact=False,  # depends on the leaver's position
+    )
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "BD": _bd,
+    "GDH": _gdh,
+    "CKD": _ckd,
+    "TGDH": _tgdh,
+    "STR": _str,
+}

@@ -1,0 +1,151 @@
+"""Rendering of the paper's Table 1 (communication and computation costs).
+
+``table1_rows`` produces the symbolic grid; ``render_table1`` formats it
+for terminals; both can also evaluate the formulas at concrete sizes, which
+is what the Table 1 benchmark prints next to instrumented measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.costs import conceptual_cost
+from repro.gcs.messages import ViewEvent
+
+#: Symbolic Table 1, matching the paper's presentation conventions
+#: (n members, m merging, p leaving, h tree height).
+SYMBOLIC: Dict[str, Dict[str, Dict[str, str]]] = {
+    "GDH": {
+        "Join": {"rounds": "4", "messages": "n+3", "unicast": "1",
+                 "multicast": "n+2", "exponentiations": "n+1",
+                 "signatures": "n+3", "verifications": "2n+1"},
+        "Leave": {"rounds": "1", "messages": "1", "unicast": "0",
+                  "multicast": "1", "exponentiations": "n-1",
+                  "signatures": "1", "verifications": "n-2"},
+        "Merge": {"rounds": "m+3", "messages": "n+2m+1", "unicast": "m",
+                  "multicast": "n+m+1", "exponentiations": "n+m",
+                  "signatures": "n+2m+1", "verifications": "2(n+m)-1"},
+        "Partition": {"rounds": "1", "messages": "1", "unicast": "0",
+                      "multicast": "1", "exponentiations": "n-p",
+                      "signatures": "1", "verifications": "n-p-1"},
+    },
+    "TGDH": {
+        "Join": {"rounds": "2", "messages": "3", "unicast": "0",
+                 "multicast": "3", "exponentiations": "2h+1",
+                 "signatures": "3", "verifications": "3"},
+        "Leave": {"rounds": "1", "messages": "1", "unicast": "0",
+                  "multicast": "1", "exponentiations": "2h",
+                  "signatures": "1", "verifications": "1"},
+        "Merge": {"rounds": "<=h+1", "messages": "2m+h", "unicast": "0",
+                  "multicast": "2m+h", "exponentiations": "2h+1",
+                  "signatures": "2m+h", "verifications": "2m+h"},
+        "Partition": {"rounds": "<=h", "messages": "<=2h", "unicast": "0",
+                      "multicast": "<=2h", "exponentiations": "2h",
+                      "signatures": "<=2h", "verifications": "<=2h"},
+    },
+    "STR": {
+        "Join": {"rounds": "2", "messages": "3", "unicast": "0",
+                 "multicast": "3", "exponentiations": "5",
+                 "signatures": "3", "verifications": "3"},
+        "Leave": {"rounds": "1", "messages": "1", "unicast": "0",
+                  "multicast": "1", "exponentiations": "~n+2 (avg)",
+                  "signatures": "1", "verifications": "n-2"},
+        "Merge": {"rounds": "2", "messages": "m+2", "unicast": "0",
+                  "multicast": "m+2", "exponentiations": "2m+3",
+                  "signatures": "m+2", "verifications": "m+2"},
+        "Partition": {"rounds": "1", "messages": "1", "unicast": "0",
+                      "multicast": "1", "exponentiations": "~n-p+2 (avg)",
+                      "signatures": "1", "verifications": "n-p-1"},
+    },
+    "BD": {
+        "Join": {"rounds": "2", "messages": "2(n+1)", "unicast": "0",
+                 "multicast": "2(n+1)", "exponentiations": "3",
+                 "signatures": "2", "verifications": "2n"},
+        "Leave": {"rounds": "2", "messages": "2(n-1)", "unicast": "0",
+                  "multicast": "2(n-1)", "exponentiations": "3",
+                  "signatures": "2", "verifications": "2(n-2)"},
+        "Merge": {"rounds": "2", "messages": "2(n+m)", "unicast": "0",
+                  "multicast": "2(n+m)", "exponentiations": "3",
+                  "signatures": "2", "verifications": "2(n+m-1)"},
+        "Partition": {"rounds": "2", "messages": "2(n-p)", "unicast": "0",
+                      "multicast": "2(n-p)", "exponentiations": "3",
+                      "signatures": "2", "verifications": "2(n-p-1)"},
+    },
+    "CKD": {
+        "Join": {"rounds": "3", "messages": "3", "unicast": "1",
+                 "multicast": "2", "exponentiations": "n+2",
+                 "signatures": "3", "verifications": "n+2"},
+        "Leave": {"rounds": "1", "messages": "1", "unicast": "0",
+                  "multicast": "1", "exponentiations": "n-1",
+                  "signatures": "1", "verifications": "n-2"},
+        "Merge": {"rounds": "3", "messages": "m+2", "unicast": "m",
+                  "multicast": "2", "exponentiations": "n+2m",
+                  "signatures": "m+2", "verifications": "n+3m-1"},
+        "Partition": {"rounds": "1", "messages": "1", "unicast": "0",
+                      "multicast": "1", "exponentiations": "n-p",
+                      "signatures": "1", "verifications": "n-p-1"},
+    },
+}
+
+_EVENT_NAMES = {
+    "Join": ViewEvent.JOIN,
+    "Leave": ViewEvent.LEAVE,
+    "Merge": ViewEvent.MERGE,
+    "Partition": ViewEvent.PARTITION,
+}
+
+_COLUMNS = ("rounds", "messages", "unicast", "multicast",
+            "exponentiations", "signatures", "verifications")
+
+
+def table1_rows(
+    n: Optional[int] = None, m: int = 4, p: int = 4
+) -> List[Tuple[str, str, Dict[str, str]]]:
+    """The Table 1 grid, symbolic or evaluated at a concrete ``n``."""
+    rows = []
+    for protocol in ("GDH", "TGDH", "STR", "BD", "CKD"):
+        for event_name, cells in SYMBOLIC[protocol].items():
+            if n is None:
+                rows.append((protocol, event_name, dict(cells)))
+                continue
+            cost = conceptual_cost(
+                protocol, _EVENT_NAMES[event_name], n=n, m=m, p=p
+            )
+            rows.append(
+                (
+                    protocol,
+                    event_name,
+                    {
+                        "rounds": str(cost.rounds),
+                        "messages": str(cost.messages),
+                        "unicast": str(cost.unicasts),
+                        "multicast": str(cost.multicasts),
+                        "exponentiations": str(cost.serial_exponentiations),
+                        "signatures": str(cost.signatures),
+                        "verifications": str(cost.verifications),
+                    },
+                )
+            )
+    return rows
+
+
+def render_table1(n: Optional[int] = None, m: int = 4, p: int = 4) -> str:
+    """Format the Table 1 grid for a terminal."""
+    rows = table1_rows(n=n, m=m, p=p)
+    title = (
+        "Table 1: Communication and Computation Costs"
+        + (f" (evaluated at n={n}, m={m}, p={p})" if n is not None else " (symbolic)")
+    )
+    header = f"{'Protocol':9s} {'Event':10s} " + " ".join(
+        f"{c[:12]:>13s}" for c in _COLUMNS
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    last_protocol = None
+    for protocol, event_name, cells in rows:
+        shown = protocol if protocol != last_protocol else ""
+        last_protocol = protocol
+        lines.append(
+            f"{shown:9s} {event_name:10s} "
+            + " ".join(f"{cells[c]:>13s}" for c in _COLUMNS)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Experiment harness regenerating the paper's evaluation (§6).
+
+:mod:`repro.bench.harness` runs one experiment cell — a (testbed, protocol,
+DH size, event, group size) combination — on the full simulated stack and
+returns the paper's measurements (total elapsed time and the membership
+service component).  :mod:`repro.bench.series` sweeps group sizes the way
+Figures 11, 12 and 14 do.  :mod:`repro.bench.report` renders the series as
+the tables/CSV the benchmark suite prints.
+"""
+
+from repro.bench.harness import EventMeasurement, measure_event, grow_group
+from repro.bench.plot import render_plot
+from repro.bench.report import render_series, series_to_csv
+from repro.bench.series import FigureSeries, sweep_group_sizes
+
+__all__ = [
+    "EventMeasurement",
+    "measure_event",
+    "grow_group",
+    "FigureSeries",
+    "sweep_group_sizes",
+    "render_plot",
+    "render_series",
+    "series_to_csv",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — see :mod:`repro.bench.cli`."""
+
+import sys
+
+from repro.bench.cli import main
+
+sys.exit(main())

@@ -1,0 +1,118 @@
+"""Command-line front end: regenerate any of the paper's figures.
+
+Examples::
+
+    python -m repro.bench --figure 11            # LAN join, 512 & 1024
+    python -m repro.bench --figure 14 --repeats 1
+    python -m repro.bench --figure 12 --sizes 4 13 26 --csv out/
+    python -m repro.bench --table 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.table1 import render_table1
+from repro.bench.plot import render_plot
+from repro.bench.report import render_series, series_to_csv
+from repro.bench.series import DEFAULT_SIZES, sweep_group_sizes
+from repro.gcs.topology import lan_testbed, medium_wan_testbed, wan_testbed
+
+PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+
+#: figure number -> list of (title, testbed factory, event, dh group)
+FIGURES = {
+    "11": [
+        ("Figure 11 (left): Join - DH 512 (LAN)", lan_testbed, "join", "dh-512"),
+        ("Figure 11 (right): Join - DH 1024 (LAN)", lan_testbed, "join", "dh-1024"),
+    ],
+    "12": [
+        ("Figure 12 (left): Leave - DH 512 (LAN)", lan_testbed, "leave", "dh-512"),
+        ("Figure 12 (right): Leave - DH 1024 (LAN)", lan_testbed, "leave", "dh-1024"),
+    ],
+    "14": [
+        ("Figure 14 (left): Join - DH 512 (WAN)", wan_testbed, "join", "dh-512"),
+        ("Figure 14 (right): Leave - DH 512 (WAN)", wan_testbed, "leave", "dh-512"),
+    ],
+    "medium-wan": [
+        ("Future work: Join (70ms RTT WAN)", medium_wan_testbed, "join", "dh-512"),
+        ("Future work: Leave (70ms RTT WAN)", medium_wan_testbed, "leave", "dh-512"),
+    ],
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the evaluation of 'On the Performance of "
+        "Group Key Agreement Protocols' (ICDCS 2002) on the simulated "
+        "testbeds.",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--figure", choices=sorted(FIGURES), help="figure to regenerate"
+    )
+    target.add_argument(
+        "--table", choices=["1"], help="table to print"
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="group sizes to sample (default: the paper's 2-50 sweep)",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+", default=list(PROTOCOLS),
+        choices=PROTOCOLS, help="protocols to include",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="events averaged per size"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed"
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write each series as CSV into this directory",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="also render each series as an ASCII chart",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.table == "1":
+        print(render_table1())
+        print()
+        print(render_table1(n=10, m=4, p=4))
+        return 0
+    for title, testbed, event, dh_group in FIGURES[args.figure]:
+        series = sweep_group_sizes(
+            testbed,
+            args.protocols,
+            event,
+            dh_group=dh_group,
+            sizes=args.sizes,
+            repeats=args.repeats,
+            seed=args.seed,
+            name=title,
+        )
+        print(render_series(series, title))
+        print()
+        if args.plot:
+            print(render_plot(series, title=title))
+            print()
+        if args.csv:
+            slug = title.split(":")[0].lower().replace(" ", "_")
+            path = os.path.join(args.csv, f"{slug}_{event}_{dh_group}.csv")
+            series_to_csv(series, path)
+            print(f"  wrote {path}\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Measurement of single membership events on the full simulated stack.
+
+Reproduces the paper's experimental procedure (§6): members are uniformly
+distributed over the testbed machines, the group is grown by sequential
+joins, and the reported number is the *total elapsed time* from the
+membership event to the moment the last member is notified of the new key
+— averaged over several events, with the per-protocol conventions the
+paper describes in §6.1.2 (CKD's controller-leave weighting, STR's
+middle-member leave, TGDH measured on the tree its own heuristic builds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.core.framework import SecureSpreadFramework
+from repro.gcs.topology import Topology
+
+
+@dataclass
+class EventMeasurement:
+    """Averaged timings for one experiment cell."""
+
+    protocol: str
+    event: str
+    group_size: int
+    dh_group: str
+    topology: str
+    total_ms: float
+    membership_ms: float
+    samples: int
+
+    @property
+    def key_agreement_ms(self) -> float:
+        return self.total_ms - self.membership_ms
+
+
+def _fresh_framework(
+    topology_factory: Callable[[], Topology],
+    protocol: str,
+    dh_group: str,
+    seed: int,
+) -> SecureSpreadFramework:
+    return SecureSpreadFramework(
+        topology_factory(),
+        default_protocol=protocol,
+        dh_group=dh_group,
+        seed=seed,
+    )
+
+
+def grow_group(
+    framework: SecureSpreadFramework, size: int, start: int = 0, prefix: str = "m"
+) -> List:
+    """Grow the group to ``size`` members by sequential (settled) joins."""
+    members = []
+    machines = len(framework.world.topology.machines)
+    for index in range(start, size):
+        member = framework.member(f"{prefix}{index}", index % machines)
+        member.join()
+        framework.run_until_idle()
+        members.append(member)
+    return members
+
+
+def measure_event(
+    topology_factory: Callable[[], Topology],
+    protocol: str,
+    group_size: int,
+    event: str,
+    dh_group: str = "dh-512",
+    repeats: int = 2,
+    seed: int = 0,
+) -> EventMeasurement:
+    """Average elapsed time for ``event`` at ``group_size`` members.
+
+    ``event`` is ``"join"`` or ``"leave"`` (the two events the paper
+    measures); each repeat performs the event on a settled group of
+    exactly ``group_size`` members and restores the size afterwards.
+    """
+    if event not in ("join", "leave"):
+        raise ValueError("event must be 'join' or 'leave'")
+    framework = _fresh_framework(topology_factory, protocol, dh_group, seed)
+    members = grow_group(framework, group_size)
+    totals: List[float] = []
+    memberships: List[float] = []
+    extra_index = 0
+    for repeat in range(repeats):
+        if event == "join":
+            extra_index += 1
+            joiner = framework.member(
+                f"x{extra_index}",
+                (group_size + extra_index) % len(framework.world.topology.machines),
+            )
+            framework.timeline.mark_event(framework.now)
+            joiner.join()
+            framework.run_until_idle()
+            record = framework.timeline.latest_complete()
+            totals.append(record.total_elapsed())
+            memberships.append(record.membership_elapsed())
+            joiner.leave()  # restore the size (unmeasured)
+            framework.run_until_idle()
+        else:
+            total, membership = _measure_leave(framework, members, protocol)
+            totals.append(total)
+            memberships.append(membership)
+    return EventMeasurement(
+        protocol=protocol,
+        event=event,
+        group_size=group_size,
+        dh_group=dh_group,
+        topology=framework.world.topology.name,
+        total_ms=sum(totals) / len(totals),
+        membership_ms=sum(memberships) / len(memberships),
+        samples=repeats,
+    )
+
+
+def _leave_and_time(framework, member):
+    framework.timeline.mark_event(framework.now)
+    member.leave()
+    framework.run_until_idle()
+    record = framework.timeline.latest_complete()
+    return record.total_elapsed(), record.membership_elapsed()
+
+
+def _rejoin(framework, member):
+    """Re-admit a member that left, replacing its protocol instance."""
+    fresh = framework.member(
+        member.name + "'",
+        framework.world.topology.machines.index(member.machine),
+        member.group_name,
+    )
+    fresh.join()
+    framework.run_until_idle()
+    return fresh
+
+
+def _measure_leave(framework, members: List, protocol: str):
+    """One leave sample, honoring the paper's §6.1.2 conventions."""
+    n = len(members)
+    if protocol == "STR":
+        victim_index = n // 2  # the middle of the STR stack
+    elif protocol == "CKD":
+        victim_index = n // 2  # non-controller case; weighted below
+    else:
+        victim_index = n // 2
+    victim = members[victim_index]
+    total, membership = _leave_and_time(framework, victim)
+    members[victim_index] = _rejoin(framework, victim)
+    if protocol == "CKD":
+        # Weight in the controller-leave case with probability 1/n: the
+        # departing controller forces full channel re-establishment.
+        controller = members[0]
+        ctrl_total, ctrl_membership = _leave_and_time(framework, controller)
+        replacement = _rejoin(framework, controller)
+        members.pop(0)
+        members.append(replacement)
+        total = (1 - 1 / n) * total + (1 / n) * ctrl_total
+        membership = (1 - 1 / n) * membership + (1 / n) * ctrl_membership
+    return total, membership

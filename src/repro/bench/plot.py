@@ -1,0 +1,71 @@
+"""ASCII line plots of figure series — the paper's figures in a terminal.
+
+No plotting dependency: a fixed-size character canvas with one glyph per
+protocol, linear interpolation between sampled group sizes, and the same
+axes as the paper (group size vs total elapsed milliseconds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.series import FigureSeries
+
+#: plot glyph per protocol, stable across figures
+GLYPHS = {"BD": "B", "CKD": "C", "GDH": "G", "STR": "S", "TGDH": "T"}
+
+
+def render_plot(
+    series: FigureSeries,
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+) -> str:
+    """Render the series as an ASCII chart (x: group size, y: elapsed ms)."""
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small")
+    xs = series.sizes
+    x_min, x_max = min(xs), max(xs)
+    if x_min == x_max:
+        raise ValueError("need at least two group sizes to plot")
+    y_max = max(max(curve) for curve in series.curves.values())
+    y_max = max(y_max, 1e-9)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(size: float, value: float, glyph: str) -> None:
+        col = round((size - x_min) / (x_max - x_min) * (width - 1))
+        row = height - 1 - round(value / y_max * (height - 1))
+        row = min(max(row, 0), height - 1)
+        if grid[row][col] == " " or grid[row][col] == glyph:
+            grid[row][col] = glyph
+        else:
+            grid[row][col] = "*"  # curves overlap here
+
+    for protocol, curve in sorted(series.curves.items()):
+        glyph = GLYPHS.get(protocol, protocol[0])
+        # Interpolate between samples so curves read as lines.
+        for index in range(len(xs) - 1):
+            x0, x1 = xs[index], xs[index + 1]
+            y0, y1 = curve[index], curve[index + 1]
+            steps = max(2, round((x1 - x0) / (x_max - x_min) * width))
+            for step in range(steps + 1):
+                frac = step / steps
+                place(x0 + frac * (x1 - x0), y0 + frac * (y1 - y0), glyph)
+
+    lines = [title or f"{series.name} — total elapsed ms vs group size"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:8.0f} |"
+        elif row_index == height - 1:
+            label = f"{0:8.0f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = " " * 10 + f"{x_min:<6d}" + " " * (width - 14) + f"{x_max:>6d}"
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{GLYPHS.get(p, p[0])}={p}" for p in sorted(series.curves)
+    )
+    lines.append(" " * 10 + legend + "   (*=overlap)")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Group-size sweeps: the series behind Figures 11, 12 and 14.
+
+A :class:`FigureSeries` holds, for each protocol, the elapsed-time curve
+over group sizes, plus the membership-service baseline the paper plots
+alongside.  Growth is incremental — the group is grown once per protocol
+and measured at each sampled size — matching the paper's measurement loop
+and keeping simulation time manageable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.bench.harness import _fresh_framework, _measure_leave, grow_group
+from repro.gcs.topology import Topology
+
+#: The default group sizes sampled along the paper's 0-50 member x-axis.
+DEFAULT_SIZES = (2, 4, 8, 13, 20, 26, 33, 40, 50)
+
+
+@dataclass
+class FigureSeries:
+    """Elapsed-time curves for one (figure, DH size, event) combination."""
+
+    name: str
+    event: str
+    dh_group: str
+    topology: str
+    sizes: List[int]
+    #: protocol -> elapsed milliseconds per size
+    curves: Dict[str, List[float]]
+    #: membership-service baseline per size
+    membership: List[float]
+
+    def at(self, protocol: str, size: int) -> float:
+        """The measured time of ``protocol`` at group size ``size``."""
+        return self.curves[protocol][self.sizes.index(size)]
+
+    def membership_at(self, size: int) -> float:
+        return self.membership[self.sizes.index(size)]
+
+    def winner(self, size: int) -> str:
+        """The fastest protocol at a group size."""
+        index = self.sizes.index(size)
+        return min(self.curves, key=lambda proto: self.curves[proto][index])
+
+    def loser(self, size: int) -> str:
+        """The slowest protocol at a group size."""
+        index = self.sizes.index(size)
+        return max(self.curves, key=lambda proto: self.curves[proto][index])
+
+    def crossover(self, cheap_small: str, cheap_large: str):
+        """The sampled size interval where two curves swap order.
+
+        Returns ``(last size where cheap_small wins, first size where
+        cheap_large wins)`` — e.g. the paper's BD-vs-GDH crossover "around
+        thirty members" — or None when the ordering never flips.
+        """
+        last_small_win = None
+        for index, size in enumerate(self.sizes):
+            a = self.curves[cheap_small][index]
+            b = self.curves[cheap_large][index]
+            if a < b:
+                last_small_win = size
+            elif last_small_win is not None:
+                return (last_small_win, size)
+        return None
+
+
+def sweep_group_sizes(
+    topology_factory: Callable[[], Topology],
+    protocols: Sequence[str],
+    event: str,
+    dh_group: str = "dh-512",
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 2,
+    seed: int = 0,
+    name: str = "",
+) -> FigureSeries:
+    """Measure ``event`` for every protocol across group sizes.
+
+    For each protocol the group is grown incrementally; at each sampled
+    size the event is applied ``repeats`` times (size-restoring) and the
+    total elapsed times averaged.
+    """
+    if event not in ("join", "leave"):
+        raise ValueError("event must be 'join' or 'leave'")
+    sizes = sorted(set(sizes))
+    curves: Dict[str, List[float]] = {}
+    membership_curve: List[float] = [0.0] * len(sizes)
+    topology_name = ""
+    for protocol in protocols:
+        framework = _fresh_framework(topology_factory, protocol, dh_group, seed)
+        topology_name = framework.world.topology.name
+        members: List = []
+        curve: List[float] = []
+        extra = 0
+        for position, size in enumerate(sizes):
+            members += grow_group(framework, size, start=len(members))
+            totals, memberships = [], []
+            for _ in range(repeats):
+                if event == "join":
+                    extra += 1
+                    joiner = framework.member(
+                        f"x{extra}",
+                        (size + extra) % len(framework.world.topology.machines),
+                    )
+                    framework.timeline.mark_event(framework.now)
+                    joiner.join()
+                    framework.run_until_idle()
+                    record = framework.timeline.latest_complete()
+                    totals.append(record.total_elapsed())
+                    memberships.append(record.membership_elapsed())
+                    joiner.leave()
+                    framework.run_until_idle()
+                else:
+                    total, membership = _measure_leave(
+                        framework, members, protocol
+                    )
+                    totals.append(total)
+                    memberships.append(membership)
+            curve.append(sum(totals) / len(totals))
+            membership_curve[position] = sum(memberships) / len(memberships)
+        curves[protocol] = curve
+    return FigureSeries(
+        name=name or f"{event}-{dh_group}",
+        event=event,
+        dh_group=dh_group,
+        topology=topology_name,
+        sizes=list(sizes),
+        curves=curves,
+        membership=membership_curve,
+    )

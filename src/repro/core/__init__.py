@@ -1,0 +1,25 @@
+"""The Secure Spread framework (paper §3.3).
+
+Ties the key agreement protocols to the group communication system: when a
+group's membership changes, the framework detects it, runs the group's
+configured key agreement protocol to completion, and notifies the
+application of the membership change together with the new key; once a
+group is operational it encrypts and decrypts application data under the
+group key.
+
+The central design goal the paper highlights — "the architecture of Secure
+Spread allows it to handle different key agreement algorithms for
+different groups" — is :class:`SecureSpreadFramework`'s protocol registry.
+"""
+
+from repro.core.encryption import GroupCipher
+from repro.core.framework import SecureSpreadFramework
+from repro.core.secure_group import SecureGroupMember
+from repro.core.timing import RekeyTimeline
+
+__all__ = [
+    "GroupCipher",
+    "SecureSpreadFramework",
+    "SecureGroupMember",
+    "RekeyTimeline",
+]

@@ -1,0 +1,65 @@
+"""Group-data confidentiality and integrity under the group key.
+
+Once a group is operational, Secure Spread "encrypts and decrypts user
+data using the group key" (§3.3).  Each key agreement epoch derives fresh
+symmetric keys from the agreed group secret, giving encrypt-then-MAC
+protection with the from-scratch primitives of :mod:`repro.crypto.kdf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.kdf import derive_key, hmac_sha256, stream_xor
+
+
+class IntegrityError(Exception):
+    """Raised when a ciphertext fails authentication."""
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """An encrypted, authenticated application payload."""
+
+    epoch: Tuple[int, int]
+    sender: str
+    nonce: bytes
+    ciphertext: bytes
+    mac: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.ciphertext) + len(self.nonce) + len(self.mac) + 48
+
+
+class GroupCipher:
+    """Symmetric protection derived from one epoch's group key."""
+
+    def __init__(self, group_key: int, epoch: Tuple[int, int]):
+        self.epoch = epoch
+        label = f"epoch:{epoch[0]}:{epoch[1]}"
+        self._enc_key = derive_key(group_key, label + ":enc")
+        self._mac_key = derive_key(group_key, label + ":mac")
+        self._counter = 0
+
+    def seal(self, sender: str, plaintext: bytes) -> SealedMessage:
+        """Encrypt-then-MAC a payload; nonces never repeat per sender."""
+        self._counter += 1
+        nonce = f"{sender}:{self._counter}".encode()
+        ciphertext = stream_xor(self._enc_key, nonce, plaintext)
+        mac = hmac_sha256(self._mac_key, nonce + ciphertext)
+        return SealedMessage(
+            epoch=self.epoch,
+            sender=sender,
+            nonce=nonce,
+            ciphertext=ciphertext,
+            mac=mac,
+        )
+
+    def open(self, sealed: SealedMessage) -> bytes:
+        """Verify and decrypt; raises :class:`IntegrityError` on tampering."""
+        expected = hmac_sha256(self._mac_key, sealed.nonce + sealed.ciphertext)
+        if expected != sealed.mac:
+            raise IntegrityError("message failed authentication")
+        return stream_xor(self._enc_key, sealed.nonce, sealed.ciphertext)

@@ -1,0 +1,101 @@
+"""The Secure Spread framework object: configuration and member factory.
+
+One framework instance per simulated deployment.  It owns the group
+communication world, the DH group and cost model in force, the per-group
+protocol registry (the paper's "different key agreement protocols for
+different groups"), and the measurement timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.core.timing import RekeyTimeline
+from repro.crypto.costmodel import CostModel, pentium3_666
+from repro.crypto.groups import SchnorrGroup, get_group
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import RsaPublicKey
+from repro.gcs.topology import Topology
+from repro.gcs.world import GcsWorld
+from repro.protocols import PROTOCOLS
+from repro.protocols.base import KeyAgreementProtocol
+
+
+class SecureSpreadFramework:
+    """A Secure Spread deployment on a simulated testbed."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        default_protocol: str = "TGDH",
+        dh_group="dh-512",
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+        sign_for_real: bool = False,
+        rsa_bits: int = 512,
+        trace: bool = False,
+    ):
+        if default_protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {default_protocol!r}; "
+                f"choose from {sorted(PROTOCOLS)}"
+            )
+        self.world = GcsWorld(topology, trace=trace)
+        self.group: SchnorrGroup = get_group(dh_group)
+        self.cost_model = cost_model or pentium3_666()
+        self.rng = DeterministicRandom(seed)
+        self.default_protocol = default_protocol
+        self.sign_for_real = sign_for_real
+        self.rsa_bits = rsa_bits
+        self.timeline = RekeyTimeline()
+        self._group_protocols: Dict[str, str] = {}
+        self._members: Dict[str, "SecureGroupMember"] = {}
+
+    # -- protocol registry ---------------------------------------------------
+
+    def set_group_protocol(self, group_name: str, protocol: str) -> None:
+        """Assign a key agreement protocol to a group (before members join)."""
+        if protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self._group_protocols[group_name] = protocol
+
+    def protocol_name(self, group_name: str) -> str:
+        return self._group_protocols.get(group_name, self.default_protocol)
+
+    def protocol_class(self, group_name: str) -> Type[KeyAgreementProtocol]:
+        return PROTOCOLS[self.protocol_name(group_name)]
+
+    # -- members ----------------------------------------------------------------
+
+    def member(
+        self, name: str, machine_index: int, group_name: str = "secure-group"
+    ) -> "SecureGroupMember":
+        """Create a member process on a machine (it has not joined yet)."""
+        from repro.core.secure_group import SecureGroupMember
+
+        member = SecureGroupMember(self, name, machine_index, group_name)
+        self._members[name] = member
+        return member
+
+    def spawn_members(
+        self, count: int, group_name: str = "secure-group", prefix: str = "m"
+    ) -> List["SecureGroupMember"]:
+        """Create ``count`` members distributed uniformly over the machines."""
+        total = len(self.world.topology.machines)
+        return [
+            self.member(f"{prefix}{i}", i % total, group_name)
+            for i in range(count)
+        ]
+
+    def public_key_of(self, member_name: str) -> RsaPublicKey:
+        member = self._members[member_name]
+        return member._keypair.public
+
+    # -- running ----------------------------------------------------------------
+
+    def run_until_idle(self, max_events: int = 2_000_000) -> None:
+        self.world.run_until_idle(max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.world.now

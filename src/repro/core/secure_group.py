@@ -1,0 +1,264 @@
+"""A Secure Spread group member: rekeying plus secure data exchange.
+
+:class:`SecureGroupMember` glues one key agreement protocol instance to one
+Spread client (§3.3):
+
+* every membership view triggers a fresh key agreement run for that view
+  (a view arriving mid-agreement aborts and restarts it — the simple
+  robustness discipline of the paper's refs [1,2]);
+* protocol messages are signed by the sender and verified by every
+  receiver, with the CPU cost of all cryptographic work charged to the
+  member's machine through the cost model — under contention when several
+  members share a machine, which is where the paper's BD-doubling effect
+  comes from;
+* application data sent while a rekey is in progress is queued and
+  released, encrypted under the new group key, once the epoch completes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.encryption import GroupCipher, SealedMessage
+from repro.crypto.rsa import RsaSigner, RsaVerifier, cached_rsa_keypair
+from repro.gcs.client import SpreadClient
+from repro.gcs.messages import GroupMessage, View
+from repro.protocols.base import KeyAgreementProtocol, ProtocolMessage
+
+#: how many past epochs' ciphers to retain for late-arriving data
+_CIPHER_HISTORY = 4
+
+
+class SecureGroupMember:
+    """One application process in one secure group."""
+
+    def __init__(
+        self,
+        framework,
+        name: str,
+        machine_index: int,
+        group_name: str,
+    ):
+        self.framework = framework
+        self.name = name
+        self.group_name = group_name
+        self.client: SpreadClient = framework.world.client(name, machine_index)
+        self.machine = framework.world.topology.machines[machine_index]
+        self.client.on_view = self._on_view
+        self.client.on_message = self._on_message
+        protocol_cls = framework.protocol_class(group_name)
+        self.protocol: KeyAgreementProtocol = protocol_cls(
+            name, framework.group, framework.rng
+        )
+        keypair = cached_rsa_keypair(
+            framework.rsa_bits, machine_index % 64
+        )
+        self._signer = RsaSigner(keypair, self.protocol.ledger)
+        self._verifier = RsaVerifier(self.protocol.ledger)
+        self._keypair = keypair
+        self._cpu_tail = 0.0
+        self._ciphers: Dict[Tuple[int, int], GroupCipher] = {}
+        self._current_epoch: Optional[Tuple[int, int]] = None
+        self._outbound_queue: List[bytes] = []
+        #: callbacks for applications
+        self.on_secure_view: Optional[Callable[["SecureGroupMember", View, bytes], None]] = None
+        self.on_secure_message: Optional[Callable[["SecureGroupMember", str, bytes], None]] = None
+        #: delivered plaintexts, for tests and examples
+        self.inbox: List[Tuple[str, bytes]] = []
+        self.secure_views: List[View] = []
+
+    # -- membership -------------------------------------------------------
+
+    def join(self) -> None:
+        """Join the secure group."""
+        self.client.join(self.group_name)
+
+    def leave(self) -> None:
+        """Leave the secure group."""
+        self.client.leave(self.group_name)
+
+    @property
+    def sim(self):
+        return self.framework.world.sim
+
+    @property
+    def key_bytes(self) -> Optional[bytes]:
+        """The current epoch's raw key material (None while rekeying)."""
+        if self._current_epoch is None:
+            return None
+        if self.protocol.key_epoch != self._current_epoch:
+            return None
+        return self.protocol.key.to_bytes(
+            (self.protocol.key.bit_length() + 7) // 8 or 1, "big"
+        )
+
+    @property
+    def is_secure(self) -> bool:
+        """True when the member holds the key for the current view."""
+        return self.key_bytes is not None
+
+    # -- secure data --------------------------------------------------------
+
+    def send_secure(self, plaintext: bytes) -> None:
+        """Encrypt under the group key and multicast; queued during rekeys."""
+        if not self.is_secure:
+            self._outbound_queue.append(plaintext)
+            return
+        cipher = self._ciphers[self._current_epoch]
+        sealed = cipher.seal(self.name, plaintext)
+        self.client.multicast(
+            self.group_name,
+            ("secure-data", sealed),
+            size_bytes=sealed.size_bytes,
+        )
+
+    # -- view handling ---------------------------------------------------------
+
+    def _on_view(self, _client: SpreadClient, view: View) -> None:
+        if self.name not in view.members:
+            return  # our own departure notification
+        self.framework.timeline.record_view(
+            view.view_id, self.name, self.sim.now, view.members
+        )
+        outputs = self._charged(lambda: self.protocol.start(view))
+        self._after_protocol_step(view, outputs)
+
+    # -- protocol message handling ----------------------------------------------
+
+    def _on_message(self, _client: SpreadClient, message: GroupMessage) -> None:
+        kind, payload = message.payload[0], message.payload[1:]
+        if kind == "key-agreement":
+            pmsg, signature = payload
+            self._handle_protocol_message(message.sender, pmsg, signature)
+        elif kind == "secure-data":
+            (sealed,) = payload
+            self._handle_secure_data(sealed)
+        else:  # pragma: no cover - no other kinds are sent
+            raise ValueError(f"unknown secure payload kind {kind!r}")
+
+    def _handle_protocol_message(
+        self, sender: str, pmsg: ProtocolMessage, signature
+    ) -> None:
+        if sender == self.name:
+            return  # our own broadcast echoed back; nothing to verify
+
+        def work():
+            if not self._verify(sender, pmsg, signature):
+                return []
+            return self.protocol.receive(pmsg)
+
+        outputs = self._charged(work)
+        view = self.protocol.view
+        if view is not None:
+            self._after_protocol_step(view, outputs)
+
+    def _verify(self, sender: str, pmsg: ProtocolMessage, signature) -> bool:
+        """Verify the sender's signature (always charged; optionally real)."""
+        if not self.framework.sign_for_real:
+            self.protocol.ledger.record_verification()
+            return True
+        public = self.framework.public_key_of(sender)
+        return self._verifier.verify(public, _message_bytes(pmsg), signature)
+
+    def _after_protocol_step(
+        self, view: View, outputs: List[ProtocolMessage]
+    ) -> None:
+        for pmsg in outputs:
+            # Signing advances our CPU timeline; the message leaves only
+            # once the signature is paid for.
+            signature = self._sign(pmsg)
+            self.sim.schedule_at(
+                max(self._cpu_tail, self.sim.now), self._transmit, pmsg, signature
+            )
+        if self.protocol.done_for(view):
+            self.sim.schedule_at(
+                max(self._cpu_tail, self.sim.now), self._install_epoch, view
+            )
+
+    def _sign(self, pmsg: ProtocolMessage):
+        if not self.framework.sign_for_real:
+            self.protocol.ledger.record_signature()
+            # Re-charge the CPU for the signature itself.
+            cost = self.framework.cost_model.sign_ms
+            self._cpu_tail = self.machine.submit(
+                self.sim, cost, not_before=self._cpu_tail
+            )
+            return None
+        signature = self._signer.sign(_message_bytes(pmsg))
+        cost = self.framework.cost_model.sign_ms
+        self._cpu_tail = self.machine.submit(
+            self.sim, cost, not_before=self._cpu_tail
+        )
+        return signature
+
+    def _transmit(self, pmsg: ProtocolMessage, signature) -> None:
+        payload = ("key-agreement", pmsg, signature)
+        if pmsg.requires_agreed:
+            self.client.multicast(
+                self.group_name,
+                payload,
+                size_bytes=pmsg.size_bytes,
+                target=pmsg.target,
+            )
+        else:
+            self.client.unicast(
+                self.group_name, pmsg.target, payload, size_bytes=pmsg.size_bytes
+            )
+
+    def _install_epoch(self, view: View) -> None:
+        if self.protocol.key_epoch != view.view_id:
+            return  # a newer view superseded this epoch mid-flight
+        if view.view_id == self._current_epoch:
+            return
+        self._current_epoch = view.view_id
+        cipher = GroupCipher(self.protocol.key, view.view_id)
+        self._ciphers[view.view_id] = cipher
+        while len(self._ciphers) > _CIPHER_HISTORY:
+            oldest = min(self._ciphers)
+            del self._ciphers[oldest]
+        self.framework.timeline.record_key(view.view_id, self.name, self.sim.now)
+        self.secure_views.append(view)
+        if self.on_secure_view is not None:
+            self.on_secure_view(self, view, self.key_bytes)
+        queued, self._outbound_queue = self._outbound_queue, []
+        for plaintext in queued:
+            self.send_secure(plaintext)
+
+    def _handle_secure_data(self, sealed: SealedMessage) -> None:
+        cipher = self._ciphers.get(sealed.epoch)
+        if cipher is None:
+            return  # sealed under an epoch we never saw (pre-join traffic)
+        plaintext = cipher.open(sealed)
+        self.inbox.append((sealed.sender, plaintext))
+        if self.on_secure_message is not None:
+            self.on_secure_message(self, sealed.sender, plaintext)
+
+    # -- CPU charging -----------------------------------------------------------
+
+    def _charged(self, work: Callable[[], List[ProtocolMessage]]):
+        """Run protocol work, charging its ledger delta to our machine.
+
+        The results are computed eagerly (the math is exact), but the
+        member's CPU timeline advances by the modelled cost, and anything
+        it emits is released only when the virtual CPU work completes.
+        """
+        before = self.protocol.ledger.snapshot()
+        outputs = work()
+        delta = self.protocol.ledger.delta_since(before)
+        cost = self.framework.cost_model.time_of(delta)
+        self._cpu_tail = self.machine.submit(
+            self.sim, cost, not_before=max(self._cpu_tail, self.sim.now)
+        )
+        return outputs
+
+
+def _message_bytes(pmsg: ProtocolMessage) -> bytes:
+    """Canonical bytes of a protocol message for signing."""
+    return repr(
+        (pmsg.protocol, pmsg.epoch, pmsg.step, pmsg.sender, sorted_repr(pmsg.body))
+    ).encode()
+
+
+def sorted_repr(body: dict) -> str:
+    """Deterministic representation of a message body."""
+    return repr(sorted(body.items(), key=lambda kv: repr(kv[0])))

@@ -1,0 +1,102 @@
+"""Calibrated virtual-time costs for cryptographic operations.
+
+The simulator executes real big-integer math, but *time* in an experiment is
+virtual: a :class:`CostModel` converts an operation-count delta
+(:class:`~repro.crypto.ledger.OpCounts`) into milliseconds of CPU work.
+
+The default calibration models the paper's testbed — 666 MHz Pentium III
+machines running OpenSSL (§6.1.1):
+
+* modular exponentiation with a 160-bit exponent: ~2 ms at 512-bit modulus,
+  ~7.2 ms at 1024-bit;
+* 1024-bit RSA with public exponent 3: sign ~9.3 ms (CRT), verify ~0.6 ms;
+* a full exponentiation costs roughly ``1.5 × |q|`` modular multiplications
+  (square-and-multiply), which prices the small-exponent multiplications
+  behind BD's hidden cost (the paper's "373 modular multiplications").
+
+Machines of different speeds (the WAN testbed mixes platforms) scale these
+costs by a per-machine speed factor in :mod:`repro.sim.cpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.crypto.ledger import OpCounts
+
+#: Square-and-multiply multiplications per full exponentiation with a
+#: 160-bit exponent: ~160 squarings + ~80 multiplies.
+_MULTS_PER_FULL_EXP = 240.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual millisecond costs on a reference (speed 1.0) CPU."""
+
+    name: str
+    exp_ms: Mapping[int, float]
+    sign_ms: float
+    verify_ms: float
+    reference_bits: int = 512
+
+    def exp_cost(self, modulus_bits: int) -> float:
+        """Milliseconds for one full exponentiation at ``modulus_bits``.
+
+        Unlisted modulus sizes scale quadratically from the reference size
+        (schoolbook multiplication cost grows with the square of the
+        operand size).
+        """
+        if modulus_bits in self.exp_ms:
+            return self.exp_ms[modulus_bits]
+        ratio = (modulus_bits / self.reference_bits) ** 2
+        return self.exp_ms[self.reference_bits] * ratio
+
+    def mult_cost(self, modulus_bits: int) -> float:
+        """Milliseconds for one modular multiplication at ``modulus_bits``."""
+        return self.exp_cost(modulus_bits) / _MULTS_PER_FULL_EXP
+
+    def time_of(self, counts: OpCounts) -> float:
+        """Total virtual milliseconds of CPU work for an operation delta."""
+        total = 0.0
+        for bits, n in counts.exponentiations:
+            total += n * self.exp_cost(bits)
+        for bits, n in counts.small_exp_multiplications:
+            total += n * self.mult_cost(bits)
+        for bits, n in counts.multiplications:
+            total += n * self.mult_cost(bits)
+        total += counts.signatures * self.sign_ms
+        total += counts.verifications * self.verify_ms
+        return total
+
+
+def pentium3_666() -> CostModel:
+    """The paper's LAN/WAN reference platform: 666 MHz Pentium III."""
+    return CostModel(
+        name="pentium3-666",
+        exp_ms={512: 2.0, 1024: 7.2, 2048: 26.0},
+        sign_ms=9.3,
+        verify_ms=1.2,
+    )
+
+
+def free_crypto() -> CostModel:
+    """Zero-cost crypto — isolates pure communication cost in ablations."""
+    return CostModel(
+        name="free-crypto",
+        exp_ms={512: 0.0, 1024: 0.0, 2048: 0.0},
+        sign_ms=0.0,
+        verify_ms=0.0,
+        reference_bits=512,
+    )
+
+
+def expensive_signatures() -> CostModel:
+    """DSA-like signature pricing (§6.1.1: "expensive signature verification
+    (e.g., as in DSA) noticeably degrades performance")."""
+    return CostModel(
+        name="dsa-like",
+        exp_ms={512: 2.0, 1024: 7.2, 2048: 26.0},
+        sign_ms=4.5,
+        verify_ms=8.8,
+    )

@@ -1,0 +1,39 @@
+"""Two-party Diffie-Hellman key exchange (paper ref [4]).
+
+The primitive every protocol in the paper generalizes: GDH extends it to a
+chained group computation, TGDH/STR compose it along a tree, CKD uses it to
+establish the controller's pairwise channels.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.modmath import GroupElementContext
+from repro.crypto.rng import DeterministicRandom
+
+
+class DiffieHellman:
+    """One party's half of a Diffie-Hellman exchange.
+
+    >>> from repro.crypto import GROUP_TEST, GroupElementContext, DeterministicRandom
+    >>> ctx = GroupElementContext(GROUP_TEST)
+    >>> alice = DiffieHellman(ctx, DeterministicRandom(1))
+    >>> bob = DiffieHellman(ctx, DeterministicRandom(2))
+    >>> alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+    True
+    """
+
+    def __init__(self, ctx: GroupElementContext, rng: DeterministicRandom):
+        self._ctx = ctx
+        self.private = ctx.random_exponent(rng)
+        self.public = ctx.exp_g(self.private)
+
+    def shared_secret(self, peer_public: int) -> int:
+        """The shared group element ``peer_public^private mod p``."""
+        if not self._ctx.group.contains(peer_public):
+            raise ValueError("peer public value is not in the group")
+        return self._ctx.exp(peer_public, self.private)
+
+    def refresh(self, rng: DeterministicRandom) -> None:
+        """Draw a fresh private share and recompute the public value."""
+        self.private = self._ctx.random_exponent(rng)
+        self.public = self._ctx.exp_g(self.private)

@@ -1,0 +1,61 @@
+"""Key derivation, MAC and symmetric encryption built on SHA-256.
+
+Secure Spread encrypts application data under the group key once a group is
+operational (paper §3.3).  We implement the symmetric layer from scratch on
+:mod:`hashlib`: an expand-style KDF, HMAC-SHA256, and a counter-mode stream
+cipher, so group-data confidentiality/integrity needs no external crypto
+library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+
+def derive_key(secret: int, label: str, length: int = 32) -> bytes:
+    """Derive ``length`` bytes from a group secret (an integer) and a label.
+
+    Counter-mode expansion of ``SHA-256(counter || secret || label)``,
+    mirroring HKDF-expand's structure.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    secret_bytes = secret.to_bytes((secret.bit_length() + 7) // 8 or 1, "big")
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        counter += 1
+        h = hashlib.sha256()
+        h.update(counter.to_bytes(4, "big"))
+        h.update(secret_bytes)
+        h.update(label.encode())
+        blocks.append(h.digest())
+    return b"".join(blocks)[:length]
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        h = hashlib.sha256()
+        h.update(key)
+        h.update(nonce)
+        h.update(counter.to_bytes(8, "big"))
+        blocks.append(h.digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def stream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` with a SHA-256 counter-mode keystream.
+
+    Symmetric: applying it twice with the same key/nonce round-trips.
+    """
+    stream = _keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))

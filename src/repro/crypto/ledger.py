@@ -1,0 +1,161 @@
+"""Operation accounting for cryptographic work.
+
+The paper's entire conceptual analysis (Table 1) is phrased in numbers of
+modular exponentiations, signatures and verifications.  Every cryptographic
+primitive in :mod:`repro.crypto` is therefore executed against an
+:class:`OperationLedger` that records what was done.  The simulator later
+converts ledger deltas into virtual CPU time through a
+:class:`~repro.crypto.costmodel.CostModel`, and the test-suite checks the
+recorded counts against the closed-form Table 1 formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Immutable snapshot of operation counts.
+
+    Attributes
+    ----------
+    exponentiations:
+        Full modular exponentiations with a cryptographically sized
+        (subgroup-order sized, e.g. 160-bit) exponent, keyed by modulus bits.
+    small_exp_multiplications:
+        Modular multiplications spent on *small-exponent* exponentiations
+        (the "hidden cost" of BD's key derivation, paper §5), keyed by
+        modulus bits.  A small exponentiation with exponent ``e`` costs about
+        ``floor(log2 e) + popcount(e)`` multiplications via
+        square-and-multiply; we record that multiplication count.
+    multiplications:
+        Plain modular multiplications / inversions, keyed by modulus bits.
+    signatures:
+        Number of digital signatures produced.
+    verifications:
+        Number of signature verifications performed.
+    """
+
+    exponentiations: Tuple[Tuple[int, int], ...] = ()
+    small_exp_multiplications: Tuple[Tuple[int, int], ...] = ()
+    multiplications: Tuple[Tuple[int, int], ...] = ()
+    signatures: int = 0
+    verifications: int = 0
+
+    def exp_count(self, bits: int = 0) -> int:
+        """Total full exponentiations, optionally restricted to a modulus size."""
+        return sum(n for b, n in self.exponentiations if bits in (0, b))
+
+    def small_mult_count(self, bits: int = 0) -> int:
+        """Total small-exponent multiplications, optionally by modulus size."""
+        return sum(n for b, n in self.small_exp_multiplications if bits in (0, b))
+
+    def mult_count(self, bits: int = 0) -> int:
+        """Total plain multiplications, optionally by modulus size."""
+        return sum(n for b, n in self.multiplications if bits in (0, b))
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            exponentiations=_merge(self.exponentiations, other.exponentiations, 1),
+            small_exp_multiplications=_merge(
+                self.small_exp_multiplications, other.small_exp_multiplications, 1
+            ),
+            multiplications=_merge(self.multiplications, other.multiplications, 1),
+            signatures=self.signatures + other.signatures,
+            verifications=self.verifications + other.verifications,
+        )
+
+    def __sub__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            exponentiations=_merge(self.exponentiations, other.exponentiations, -1),
+            small_exp_multiplications=_merge(
+                self.small_exp_multiplications, other.small_exp_multiplications, -1
+            ),
+            multiplications=_merge(self.multiplications, other.multiplications, -1),
+            signatures=self.signatures - other.signatures,
+            verifications=self.verifications - other.verifications,
+        )
+
+    def is_zero(self) -> bool:
+        """True when the snapshot records no work at all."""
+        return (
+            not any(n for _, n in self.exponentiations)
+            and not any(n for _, n in self.small_exp_multiplications)
+            and not any(n for _, n in self.multiplications)
+            and self.signatures == 0
+            and self.verifications == 0
+        )
+
+
+def _merge(
+    a: Tuple[Tuple[int, int], ...], b: Tuple[Tuple[int, int], ...], sign: int
+) -> Tuple[Tuple[int, int], ...]:
+    merged: Dict[int, int] = dict(a)
+    for bits, count in b:
+        merged[bits] = merged.get(bits, 0) + sign * count
+    return tuple(sorted((bits, n) for bits, n in merged.items() if n))
+
+
+class OperationLedger:
+    """Mutable counter of cryptographic operations.
+
+    One ledger belongs to one *principal* (a group member process); the
+    simulator charges that principal's CPU for the delta between two
+    snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._exps: Dict[int, int] = {}
+        self._small_mults: Dict[int, int] = {}
+        self._mults: Dict[int, int] = {}
+        self._signatures = 0
+        self._verifications = 0
+
+    def record_exponentiation(self, modulus_bits: int, count: int = 1) -> None:
+        """Record ``count`` full (crypto-sized exponent) exponentiations."""
+        self._exps[modulus_bits] = self._exps.get(modulus_bits, 0) + count
+
+    def record_small_exponentiation(self, modulus_bits: int, exponent: int) -> None:
+        """Record one small-exponent exponentiation as its multiplication cost."""
+        if exponent <= 1:
+            return
+        mults = exponent.bit_length() - 1 + bin(exponent).count("1") - 1
+        self._small_mults[modulus_bits] = (
+            self._small_mults.get(modulus_bits, 0) + mults
+        )
+
+    def record_multiplication(self, modulus_bits: int, count: int = 1) -> None:
+        """Record ``count`` plain modular multiplications (or inversions)."""
+        self._mults[modulus_bits] = self._mults.get(modulus_bits, 0) + count
+
+    def record_signature(self, count: int = 1) -> None:
+        """Record ``count`` digital signatures produced."""
+        self._signatures += count
+
+    def record_verification(self, count: int = 1) -> None:
+        """Record ``count`` signature verifications."""
+        self._verifications += count
+
+    def snapshot(self) -> OpCounts:
+        """Immutable snapshot of all counts so far."""
+        return OpCounts(
+            exponentiations=tuple(sorted(self._exps.items())),
+            small_exp_multiplications=tuple(sorted(self._small_mults.items())),
+            multiplications=tuple(sorted(self._mults.items())),
+            signatures=self._signatures,
+            verifications=self._verifications,
+        )
+
+    def delta_since(self, earlier: OpCounts) -> OpCounts:
+        """Work recorded since ``earlier`` was snapshotted."""
+        return self.snapshot() - earlier
+
+    def reset(self) -> None:
+        """Forget all recorded work."""
+        self._exps.clear()
+        self._small_mults.clear()
+        self._mults.clear()
+        self._signatures = 0
+        self._verifications = 0

@@ -1,0 +1,47 @@
+"""A Spread-like group communication system on the discrete-event simulator.
+
+Reproduces the architecture the paper's Secure Spread runs on (§3.1):
+
+* a **daemon** per machine; clients connect to their local daemon
+  (:mod:`repro.gcs.daemon`, :mod:`repro.gcs.client`);
+* **Agreed** (totally ordered) multicast sequenced by a Totem-style token
+  circulating the daemon ring (:mod:`repro.gcs.ring`);
+* **view-synchronous membership**: lightweight client join/leave as a single
+  agreed message, heavyweight daemon-configuration changes (partitions,
+  merges, crashes) through a coordinator-driven propose/accept/install
+  protocol with flush and message retransmission
+  (:mod:`repro.gcs.membership` inside the daemon);
+* the paper's **testbeds**: a 13-machine dual-CPU LAN cluster and the
+  JHU/UCI/ICU WAN with 35/150/135 ms round-trip latencies
+  (:mod:`repro.gcs.topology`).
+"""
+
+from repro.gcs.client import SpreadClient
+from repro.gcs.daemon import Daemon
+from repro.gcs.messages import Service, View, ViewEvent
+from repro.gcs.network import Network
+from repro.gcs.ring import TokenRing
+from repro.gcs.topology import (
+    GcsParams,
+    Topology,
+    lan_testbed,
+    medium_wan_testbed,
+    wan_testbed,
+)
+from repro.gcs.world import GcsWorld
+
+__all__ = [
+    "SpreadClient",
+    "Daemon",
+    "Service",
+    "View",
+    "ViewEvent",
+    "Network",
+    "TokenRing",
+    "GcsParams",
+    "Topology",
+    "lan_testbed",
+    "medium_wan_testbed",
+    "wan_testbed",
+    "GcsWorld",
+]

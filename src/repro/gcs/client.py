@@ -1,0 +1,116 @@
+"""The Spread client library: the API applications (and Secure Spread) use.
+
+A client is one process linked with the library (§3.1): it connects to the
+daemon on its machine, joins/leaves groups, multicasts with a chosen
+service level, and receives messages and membership views via callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.gcs.messages import GroupMessage, Service, View
+
+
+class SpreadClient:
+    """One client process connected to a local daemon.
+
+    Callbacks (``on_message``, ``on_view``) receive ``(client, item)`` and
+    run inside the simulation.  Delivered items are also appended to
+    :attr:`received` / :attr:`views` for test assertions.
+    """
+
+    def __init__(self, name: str, daemon) -> None:
+        self.name = name
+        self.daemon = daemon
+        self.world = daemon.world
+        self.on_message: Optional[Callable[["SpreadClient", GroupMessage], None]] = None
+        self.on_view: Optional[Callable[["SpreadClient", View], None]] = None
+        self.received: List[GroupMessage] = []
+        self.views: List[View] = []
+        self.connected = True
+        daemon.connect(self)
+
+    # -- membership ------------------------------------------------------
+
+    def join(self, group: str) -> None:
+        """Join a group (a lightweight membership event: one Agreed message)."""
+        self._require_connected()
+        message = GroupMessage(
+            group=group,
+            sender=self.name,
+            payload={"daemon_id": self.daemon.daemon_id},
+            kind="join",
+            size_bytes=96,
+        )
+        self._submit(message)
+
+    def leave(self, group: str) -> None:
+        """Leave a group (a lightweight membership event: one Agreed message)."""
+        self._require_connected()
+        message = GroupMessage(
+            group=group, sender=self.name, payload=None, kind="leave", size_bytes=96
+        )
+        self._submit(message)
+
+    def disconnect(self) -> None:
+        """Detach from the daemon, implicitly leaving all groups."""
+        self._require_connected()
+        self.connected = False
+        self.daemon.disconnect(self)
+
+    # -- messaging ---------------------------------------------------------
+
+    def multicast(
+        self,
+        group: str,
+        payload: Any,
+        service: Service = Service.AGREED,
+        size_bytes: int = 64,
+        target: Optional[str] = None,
+    ) -> None:
+        """Send to a group (or, with ``target``, to one member of it)."""
+        self._require_connected()
+        message = GroupMessage(
+            group=group,
+            sender=self.name,
+            payload=payload,
+            service=service,
+            size_bytes=size_bytes,
+            target=target,
+        )
+        self._submit(message)
+
+    def unicast(
+        self, group: str, target: str, payload: Any, size_bytes: int = 64
+    ) -> None:
+        """FIFO point-to-point message to one group member."""
+        self.multicast(
+            group, payload, service=Service.FIFO, size_bytes=size_bytes, target=target
+        )
+
+    # -- delivery (called by the daemon) ----------------------------------
+
+    def _on_message(self, message: GroupMessage) -> None:
+        self.received.append(message)
+        if self.on_message is not None:
+            self.on_message(self, message)
+
+    def _on_view(self, view: View) -> None:
+        self.views.append(view)
+        if self.on_view is not None:
+            self.on_view(self, view)
+
+    # -- internals ---------------------------------------------------------
+
+    def _submit(self, message: GroupMessage) -> None:
+        self.world.sim.schedule(
+            self.world.params.ipc_ms, self.daemon.submit, message
+        )
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise RuntimeError(f"client {self.name!r} is disconnected")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpreadClient({self.name!r} @ d{self.daemon.daemon_id})"

@@ -1,0 +1,550 @@
+"""The Spread daemon: ordering, group state, and configuration membership.
+
+One daemon runs per machine (§3.1).  Clients connect to their local daemon;
+a client join/leave is *lightweight* — a single Agreed message — while a
+network partition/merge is *heavyweight*: the daemons run a
+coordinator-driven configuration change (propose → accept → install) with
+flush and retransmission, after which every group whose membership changed
+receives a new view.  This is the architecture that lets Spread "pay the
+minimum possible price for different causes of group membership changes".
+
+Ordering: Agreed messages are sequenced by the configuration's token ring
+and delivered in sequence order once the token sweep from the sequencer has
+passed the receiving daemon (see :mod:`repro.gcs.ring`).  The flush during
+a configuration change delivers the union of what the surviving component
+received, preserving view synchrony for surviving members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.gcs.messages import (
+    GroupMessage,
+    SequencedMessage,
+    Service,
+    View,
+    ViewEvent,
+)
+from repro.gcs.ring import TokenRing
+
+#: Wire size of configuration-change control frames.
+_CONTROL_FRAME_BYTES = 256
+
+
+@dataclass(frozen=True)
+class MemberRecord:
+    """One group member as replicated at every daemon.
+
+    ``birth`` — (config_id, sequence number of the join message) — gives the
+    globally consistent join-age order that views expose.
+    """
+
+    name: str
+    daemon_id: int
+    birth: Tuple[int, int]
+
+
+@dataclass
+class Config:
+    """A daemon configuration: the reachable daemons and their shared ring.
+
+    ``config_id`` is a ``(number, coordinator)`` pair: the number grows
+    monotonically across configuration changes and the coordinator id keeps
+    simultaneous components of a partition distinguishable.
+    """
+
+    config_id: Tuple[int, int]
+    daemon_ids: Tuple[int, ...]
+    ring: TokenRing
+
+    def index_of(self, daemon_id: int) -> int:
+        return self.daemon_ids.index(daemon_id)
+
+
+@dataclass
+class _AcceptState:
+    """A daemon's state as reported in an ACCEPT during a config change."""
+
+    daemon_id: int
+    config_id: Tuple[int, int]
+    delivered: int
+    undelivered: Dict[int, SequencedMessage]
+    groups: Dict[str, Dict[str, MemberRecord]]
+
+
+class Daemon:
+    """One Spread daemon on one machine."""
+
+    def __init__(self, daemon_id: int, machine, world) -> None:
+        self.daemon_id = daemon_id
+        self.machine = machine
+        self.world = world
+        self.clients: Dict[str, Any] = {}
+        # group name -> member name -> record (replicated state)
+        self.groups: Dict[str, Dict[str, MemberRecord]] = {}
+        self.config: Optional[Config] = None
+        self._recv: Dict[int, Dict[int, SequencedMessage]] = {}
+        # Messages this daemon sequenced itself, kept until delivered so a
+        # configuration change can flush in-flight sends (view synchrony).
+        self._sent: Dict[int, Dict[int, SequencedMessage]] = {}
+        self._delivered = 0
+        self._frozen = False
+        self._send_queue: List[GroupMessage] = []
+        # configuration-change state
+        self._reachable: FrozenSet[int] = frozenset()
+        self._round_id = 0
+        self._accepts: Dict[int, _AcceptState] = {}
+        self._last_propose_token: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # bootstrap / client connections
+    # ------------------------------------------------------------------
+
+    def install_initial(self, config: Config) -> None:
+        """Install the bootstrap configuration (all daemons, fresh ring)."""
+        self.config = config
+        self._reachable = frozenset(config.daemon_ids)
+        self._recv[config.config_id] = {}
+        self._delivered = 0
+
+    def connect(self, client) -> None:
+        """Attach a local client process."""
+        if client.name in self.world.client_directory:
+            raise ValueError(f"client name {client.name!r} already in use")
+        self.clients[client.name] = client
+        self.world.client_directory[client.name] = self
+
+    def disconnect(self, client) -> None:
+        """Detach a client; it implicitly leaves all its groups."""
+        for group, records in list(self.groups.items()):
+            if client.name in records:
+                self.submit(
+                    GroupMessage(
+                        group=group,
+                        sender=client.name,
+                        payload=None,
+                        kind="disconnect",
+                    )
+                )
+        self.clients.pop(client.name, None)
+        self.world.client_directory.pop(client.name, None)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def submit(self, message: GroupMessage) -> None:
+        """Accept a message from a local client for dissemination."""
+        if message.service is Service.AGREED:
+            if self._frozen:
+                self._send_queue.append(message)
+            else:
+                self._sequence_and_disseminate(message)
+        elif message.service is Service.FIFO:
+            self._send_fifo(message)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown service {message.service}")
+
+    def _sequence_and_disseminate(self, message: GroupMessage) -> None:
+        config = self.config
+        my_index = config.index_of(self.daemon_id)
+        config.ring.request(
+            my_index,
+            1,
+            lambda assignments: self._on_sequenced(config, message, assignments),
+        )
+
+    def _on_sequenced(self, config: Config, message: GroupMessage, assignments) -> None:
+        """The token reached us: stamp the message and disseminate it."""
+        if self.config is None or self.config.config_id != config.config_id:
+            # The configuration changed while we waited for the token;
+            # resubmit so the message is sequenced in the new one.
+            self.submit(message)
+            return
+        ((seq, sequenced_at),) = assignments
+        smsg = SequencedMessage(
+            config_id=config.config_id,
+            seq=seq,
+            origin_daemon=self.daemon_id,
+            sequenced_at=sequenced_at,
+            message=message,
+        )
+        self._sent.setdefault(config.config_id, {})[seq] = smsg
+        now = self.world.sim.now
+        self.world.tracer.record(
+            now, "sequence", f"d{self.daemon_id}", seq=seq, at=sequenced_at,
+            kind=message.kind, group=message.group,
+        )
+        for dst_id in config.daemon_ids:
+            self.world.network.send(
+                self.daemon_id,
+                dst_id,
+                message.size_bytes,
+                self.world.daemons[dst_id]._on_frame,
+                smsg,
+                extra_delay_ms=max(sequenced_at - now, 0.0),
+            )
+
+    def _send_fifo(self, message: GroupMessage) -> None:
+        if message.target is None:
+            raise ValueError("FIFO messages require a target member")
+        records = self.groups.get(message.group, {})
+        record = records.get(message.target)
+        if record is None:
+            self.world.tracer.record(
+                self.world.sim.now, "fifo-drop", f"d{self.daemon_id}",
+                target=message.target,
+            )
+            return
+        self.world.network.send(
+            self.daemon_id,
+            record.daemon_id,
+            message.size_bytes,
+            self.world.daemons[record.daemon_id]._deliver_fifo,
+            message,
+        )
+
+    # ------------------------------------------------------------------
+    # receiving and ordered delivery
+    # ------------------------------------------------------------------
+
+    def _on_frame(self, smsg: SequencedMessage) -> None:
+        self._recv.setdefault(smsg.config_id, {})[smsg.seq] = smsg
+        if self.config and smsg.config_id == self.config.config_id:
+            self.world.sim.schedule(0, self._try_deliver, smsg.config_id)
+
+    def _hold_until(self, smsg: SequencedMessage) -> float:
+        """The ordering-settlement barrier: the token sweep must pass us."""
+        ring = self.config.ring
+        origin = self.config.index_of(smsg.origin_daemon)
+        mine = self.config.index_of(self.daemon_id)
+        return smsg.sequenced_at + ring.distance_ms(origin, mine)
+
+    def _try_deliver(self, config_id: int) -> None:
+        if self.config is None or self.config.config_id != config_id:
+            return
+        pending = self._recv.get(config_id, {})
+        now = self.world.sim.now
+        while True:
+            smsg = pending.get(self._delivered + 1)
+            if smsg is None:
+                return
+            hold = self._hold_until(smsg)
+            if hold > now:
+                self.world.sim.schedule_at(hold, self._try_deliver, config_id)
+                return
+            self._delivered += 1
+            del pending[smsg.seq]
+            if smsg.origin_daemon == self.daemon_id:
+                self._sent.get(config_id, {}).pop(smsg.seq, None)
+            self._deliver(smsg)
+
+    def _deliver(self, smsg: SequencedMessage) -> None:
+        message = smsg.message
+        self.world.tracer.record(
+            self.world.sim.now, "deliver", f"d{self.daemon_id}",
+            seq=smsg.seq, config=smsg.config_id, kind=message.kind,
+            group=message.group, sender=message.sender,
+        )
+        if message.kind in ("join", "leave", "disconnect"):
+            self._apply_membership(smsg)
+        else:
+            self._deliver_data(message)
+
+    def _deliver_data(self, message: GroupMessage) -> None:
+        records = self.groups.get(message.group, {})
+        params = self.world.params
+        for name, client in self.clients.items():
+            if name not in records:
+                continue
+            if message.target is not None and message.target != name:
+                continue
+            self.world.sim.schedule(
+                params.ipc_ms + params.client_processing_ms,
+                client._on_message,
+                message,
+            )
+
+    def _deliver_fifo(self, message: GroupMessage) -> None:
+        client = self.clients.get(message.target)
+        if client is None:
+            return
+        records = self.groups.get(message.group, {})
+        if message.target not in records:
+            return
+        params = self.world.params
+        self.world.sim.schedule(
+            params.ipc_ms + params.client_processing_ms,
+            client._on_message,
+            message,
+        )
+
+    # ------------------------------------------------------------------
+    # lightweight (client) membership
+    # ------------------------------------------------------------------
+
+    def _apply_membership(self, smsg: SequencedMessage) -> None:
+        message = smsg.message
+        records = self.groups.setdefault(message.group, {})
+        if message.kind == "join":
+            if message.sender in records:
+                return  # duplicate join, ignore
+            records[message.sender] = MemberRecord(
+                name=message.sender,
+                daemon_id=message.payload["daemon_id"],
+                birth=(smsg.config_id, smsg.seq),
+            )
+            event = ViewEvent.JOIN
+            joined, left = (message.sender,), ()
+        else:
+            if message.sender not in records:
+                return  # duplicate leave, ignore
+            del records[message.sender]
+            event = ViewEvent.LEAVE
+            joined, left = (), (message.sender,)
+        view = View(
+            view_id=(smsg.config_id, smsg.seq),
+            group=message.group,
+            members=self._ordered_members(message.group),
+            event=event,
+            joined=joined,
+            left=left,
+        )
+        self._emit_view(view, also_to=tuple(left))
+
+    def _ordered_members(self, group: str) -> Tuple[str, ...]:
+        records = self.groups.get(group, {})
+        ordered = sorted(records.values(), key=lambda r: (r.birth, r.name))
+        return tuple(r.name for r in ordered)
+
+    def _emit_view(self, view: View, also_to: Tuple[str, ...] = ()) -> None:
+        params = self.world.params
+        recipients = [
+            client
+            for name, client in self.clients.items()
+            if name in view.members or name in also_to
+        ]
+        for client in recipients:
+            self.world.sim.schedule(
+                params.ipc_ms + params.client_processing_ms,
+                client._on_view,
+                view,
+            )
+
+    # ------------------------------------------------------------------
+    # heavyweight (daemon configuration) membership
+    # ------------------------------------------------------------------
+
+    def on_reachability(self, reachable: FrozenSet[int]) -> None:
+        """The failure detector reports a new reachable daemon set."""
+        if self.config and reachable == set(self.config.daemon_ids):
+            return
+        self._frozen = True
+        self._reachable = reachable
+        self._accepts = {}
+        self._round_id += 1
+        if self.daemon_id == min(reachable):
+            round_token = (self.daemon_id, self._round_id)
+            for dst_id in reachable:
+                self.world.network.send(
+                    self.daemon_id,
+                    dst_id,
+                    _CONTROL_FRAME_BYTES,
+                    self.world.daemons[dst_id]._on_propose,
+                    round_token,
+                    reachable,
+                    self.daemon_id,
+                )
+
+    def _on_propose(
+        self, round_token: Tuple[int, int], members: FrozenSet[int], coordinator: int
+    ) -> None:
+        self._frozen = True
+        self._last_propose_token = round_token
+        config_id = self.config.config_id
+        undelivered = dict(self._recv.get(config_id, {}))
+        for seq, smsg in self._sent.get(config_id, {}).items():
+            if seq > self._delivered:
+                undelivered.setdefault(seq, smsg)
+        state = _AcceptState(
+            daemon_id=self.daemon_id,
+            config_id=config_id,
+            delivered=self._delivered,
+            undelivered=undelivered,
+            groups={g: dict(r) for g, r in self.groups.items()},
+        )
+        self.world.network.send(
+            self.daemon_id,
+            coordinator,
+            _CONTROL_FRAME_BYTES + 128 * len(state.undelivered),
+            self.world.daemons[coordinator]._on_accept,
+            round_token,
+            state,
+            frozenset(members),
+        )
+
+    def _on_accept(
+        self,
+        round_token: Tuple[int, int],
+        state: _AcceptState,
+        members: FrozenSet[int],
+    ) -> None:
+        if round_token != (self.daemon_id, self._round_id):
+            return  # stale round
+        self._accepts[state.daemon_id] = state
+        if set(self._accepts) != set(members):
+            return
+        # All accepts in: build the new configuration.  The id pairs a
+        # monotonically growing number with the coordinator id so that two
+        # components of a partition can never install the same config id
+        # (their flush epochs must stay distinguishable).
+        states = dict(self._accepts)
+        new_config_id = (
+            max(s.config_id[0] for s in states.values()) + 1,
+            self.daemon_id,
+        )
+        ordered_ids = tuple(sorted(members))
+        machines = [self.world.daemons[d].machine for d in ordered_ids]
+        ring = TokenRing(self.world.topology, machines, self.world.sim)
+        config = Config(new_config_id, ordered_ids, ring)
+        # Union of sequenced-but-undelivered messages per old config.
+        union: Dict[int, Dict[int, SequencedMessage]] = {}
+        for state_ in states.values():
+            bucket = union.setdefault(state_.config_id, {})
+            bucket.update(state_.undelivered)
+        retransmit_bytes = sum(
+            m.message.size_bytes for bucket in union.values() for m in bucket.values()
+        )
+        for dst_id in ordered_ids:
+            self.world.network.send(
+                self.daemon_id,
+                dst_id,
+                _CONTROL_FRAME_BYTES + retransmit_bytes,
+                self.world.daemons[dst_id]._on_install,
+                round_token,
+                config,
+                union,
+                states,
+            )
+
+    def _on_install(
+        self,
+        round_token: Tuple[int, int],
+        config: Config,
+        union: Dict[int, Dict[int, SequencedMessage]],
+        states: Dict[int, _AcceptState],
+    ) -> None:
+        if round_token != self._last_propose_token:
+            return  # a newer configuration change superseded this round
+        old_membership = {
+            group: self._ordered_members(group) for group in self.groups
+        }
+        # 1. Flush: deliver the surviving component's union of undelivered
+        #    messages for our old configuration, in sequence order,
+        #    skipping gaps (a gap means no survivor holds the message).
+        own_union = union.get(self.config.config_id, {})
+        for seq in sorted(own_union):
+            if seq <= self._delivered:
+                continue
+            self._delivered = seq
+            self._deliver(own_union[seq])
+        # 2. Reconstruct every responder's post-flush group state and merge.
+        merged: Dict[str, Dict[str, MemberRecord]] = {}
+        for state in states.values():
+            reconstructed = _reconstruct_groups(state, union)
+            for group, records in reconstructed.items():
+                bucket = merged.setdefault(group, {})
+                for name, record in records.items():
+                    existing = bucket.get(name)
+                    if existing is None or record.birth < existing.birth:
+                        bucket[name] = record
+        allowed = set(config.daemon_ids)
+        self.groups = {
+            group: {
+                name: rec for name, rec in records.items() if rec.daemon_id in allowed
+            }
+            for group, records in merged.items()
+        }
+        # 3. Install the new configuration.
+        self.config = config
+        self._recv.setdefault(config.config_id, {})
+        self._recv = {config.config_id: self._recv[config.config_id]}
+        self._sent = {config.config_id: {}}
+        self._delivered = 0
+        self._frozen = False
+        self.world.tracer.record(
+            self.world.sim.now, "install", f"d{self.daemon_id}",
+            config=config.config_id, daemons=config.daemon_ids,
+        )
+        # 4. Emit partition/merge views for groups whose membership changed.
+        #    For merges, ``joined`` is *canonical*: the members outside the
+        #    component of the group's oldest member — the set every key
+        #    agreement protocol treats as "the newcomers", identical at all
+        #    members regardless of which side of the merge they were on.
+        component_tag = {
+            daemon_id: state.config_id for daemon_id, state in states.items()
+        }
+        for group in sorted(set(old_membership) | set(self.groups)):
+            old = old_membership.get(group, ())
+            new = self._ordered_members(group)
+            if old == new:
+                continue
+            records = self.groups.get(group, {})
+            perspective_joined = tuple(m for m in new if m not in old)
+            left = tuple(m for m in old if m not in new)
+            if perspective_joined and new:
+                oldest_tag = component_tag.get(records[new[0]].daemon_id)
+                joined = tuple(
+                    m
+                    for m in new
+                    if component_tag.get(records[m].daemon_id) != oldest_tag
+                )
+            else:
+                joined = perspective_joined
+            event = ViewEvent.MERGE if joined else ViewEvent.PARTITION
+            view = View(
+                view_id=(config.config_id, 0),
+                group=group,
+                members=new,
+                event=event,
+                joined=joined,
+                left=left,
+            )
+            self._emit_view(view)
+        # 5. Deliver any frames of the new configuration that raced ahead of
+        #    the install, then release sends queued while frozen.
+        self.world.sim.schedule(0, self._try_deliver, config.config_id)
+        queued, self._send_queue = self._send_queue, []
+        for message in queued:
+            self.submit(message)
+
+
+def _reconstruct_groups(
+    state: _AcceptState, union: Dict[int, Dict[int, SequencedMessage]]
+) -> Dict[str, Dict[str, MemberRecord]]:
+    """Apply the flush union's membership messages to a reported state.
+
+    This mirrors exactly what the reporting daemon does locally during its
+    own flush, so every installer computes identical group states.
+    """
+    groups = {g: dict(r) for g, r in state.groups.items()}
+    bucket = union.get(state.config_id, {})
+    for seq in sorted(bucket):
+        if seq <= state.delivered:
+            continue
+        smsg = bucket[seq]
+        message = smsg.message
+        if message.kind == "join":
+            records = groups.setdefault(message.group, {})
+            if message.sender not in records:
+                records[message.sender] = MemberRecord(
+                    name=message.sender,
+                    daemon_id=message.payload["daemon_id"],
+                    birth=(smsg.config_id, smsg.seq),
+                )
+        elif message.kind in ("leave", "disconnect"):
+            records = groups.get(message.group, {})
+            records.pop(message.sender, None)
+    return groups

@@ -1,0 +1,97 @@
+"""Message and view types of the group communication system."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+_MSG_IDS = itertools.count(1)
+
+
+class Service(Enum):
+    """Delivery service levels (a subset of Spread's)."""
+
+    #: FIFO from a single sender, no inter-sender ordering; used for
+    #: point-to-point protocol messages (e.g. GDH's token passing).
+    FIFO = "fifo"
+    #: Totally ordered with respect to all Agreed traffic in the group;
+    #: Spread's AGREED_MESS.
+    AGREED = "agreed"
+
+
+class ViewEvent(Enum):
+    """Why a membership view changed (paper §5: the four event types)."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+    PARTITION = "partition"
+    MERGE = "merge"
+    #: Initial view a member receives when its own join is installed.
+    INITIAL = "initial"
+
+
+@dataclass
+class GroupMessage:
+    """An application or membership message inside one group.
+
+    ``target`` narrows delivery to a single member while retaining the
+    service level's ordering cost — Secure Spread sends GDH's factor-out
+    "unicasts" as Agreed messages targeted at the controller (§6.2.2
+    explains why this is required for robustness and what it costs).
+    """
+
+    group: str
+    sender: str
+    payload: Any
+    service: Service = Service.AGREED
+    size_bytes: int = 64
+    kind: str = "data"  # "data" | "join" | "leave" | "disconnect"
+    target: Optional[str] = None
+    msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
+
+
+@dataclass
+class SequencedMessage:
+    """A group message stamped by the token with a global sequence number."""
+
+    config_id: Tuple[int, int]
+    seq: int
+    origin_daemon: int
+    sequenced_at: float
+    message: GroupMessage
+
+
+@dataclass(frozen=True)
+class View:
+    """A membership view delivered to group members.
+
+    ``members`` is ordered by join age (oldest first) consistently at every
+    member — the ordering CKD uses to pick the oldest member as controller
+    and GDH uses to pick the newest as the merge token target.
+
+    ``view_id`` is ``(config_id, seq)``: the daemon configuration the view
+    was installed in plus the sequence number of the membership message
+    (0 for configuration-change views), totally ordered per member.
+    """
+
+    view_id: Tuple
+    group: str
+    members: Tuple[str, ...]
+    event: ViewEvent
+    joined: Tuple[str, ...] = ()
+    left: Tuple[str, ...] = ()
+
+    @property
+    def oldest(self) -> str:
+        """The longest-standing member (CKD's controller)."""
+        return self.members[0]
+
+    @property
+    def newest(self) -> str:
+        """The most recent member (GDH's group controller)."""
+        return self.members[-1]
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members

@@ -1,0 +1,119 @@
+"""Frame delivery between daemons, with partitions and healing.
+
+The network is an oracle for reachability: frames between daemons in
+different components are silently dropped (as a partitioned IP network
+would), and daemons are informed of connectivity changes only after a
+failure-detection delay — reproducing the paper's model where "an
+unreliable network can split into disjoint components" and the group
+communication system reacts (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from repro.gcs.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+class Network:
+    """Delivers frames between registered daemons according to the topology."""
+
+    def __init__(
+        self, sim: Simulator, topology: Topology, tracer: Optional[Tracer] = None
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.tracer = tracer or Tracer(enabled=False)
+        self._daemons: Dict[int, Any] = {}
+        self._component_of: Dict[int, int] = {}
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, daemon: Any) -> None:
+        """Register a daemon (anything with ``daemon_id``, ``machine`` and
+        ``on_reachability``)."""
+        self._daemons[daemon.daemon_id] = daemon
+        self._component_of[daemon.daemon_id] = 0
+
+    @property
+    def daemon_ids(self) -> List[int]:
+        return sorted(self._daemons)
+
+    # -- reachability ----------------------------------------------------
+
+    def reachable(self, src_id: int, dst_id: int) -> bool:
+        """True when the two daemons are in the same network component."""
+        return self._component_of[src_id] == self._component_of[dst_id]
+
+    def component_of(self, daemon_id: int) -> Set[int]:
+        """All daemon ids in ``daemon_id``'s component."""
+        mine = self._component_of[daemon_id]
+        return {d for d, c in self._component_of.items() if c == mine}
+
+    def set_partition(
+        self, components: Iterable[Iterable[int]], detection_delay_ms: float = 0.0
+    ) -> None:
+        """Split the network into the given components.
+
+        Every registered daemon must appear in exactly one component.
+        Daemons learn their new reachable set ``detection_delay_ms`` later
+        (their failure detector timing out).
+        """
+        assignment: Dict[int, int] = {}
+        for index, component in enumerate(components):
+            for daemon_id in component:
+                if daemon_id in assignment:
+                    raise ValueError(f"daemon {daemon_id} in two components")
+                assignment[daemon_id] = index
+        if set(assignment) != set(self._daemons):
+            raise ValueError("components must cover all daemons exactly")
+        self._component_of = assignment
+        self.tracer.record(
+            self.sim.now, "partition", "network", components=sorted(assignment.items())
+        )
+        self._notify_all(detection_delay_ms)
+
+    def heal(self, detection_delay_ms: float = 0.0) -> None:
+        """Merge all components back into one network."""
+        self._component_of = {d: 0 for d in self._daemons}
+        self.tracer.record(self.sim.now, "heal", "network")
+        self._notify_all(detection_delay_ms)
+
+    def _notify_all(self, delay_ms: float) -> None:
+        for daemon_id, daemon in self._daemons.items():
+            reachable = frozenset(self.component_of(daemon_id))
+            self.sim.schedule(delay_ms, daemon.on_reachability, reachable)
+
+    # -- frame delivery ---------------------------------------------------
+
+    def send(
+        self,
+        src_id: int,
+        dst_id: int,
+        size_bytes: int,
+        fn: Callable,
+        *args: Any,
+        extra_delay_ms: float = 0.0,
+    ) -> Optional[float]:
+        """Deliver a frame from one daemon to another.
+
+        Returns the delivery time, or None when the destination is
+        unreachable (the frame is lost).
+        """
+        self.frames_sent += 1
+        if not self.reachable(src_id, dst_id):
+            self.frames_dropped += 1
+            self.tracer.record(self.sim.now, "drop", f"d{src_id}", dst=dst_id)
+            return None
+        self.bytes_sent += size_bytes
+        src = self._daemons[src_id].machine
+        dst = self._daemons[dst_id].machine
+        latency = self.topology.one_way_ms(src, dst, size_bytes)
+        latency += self.topology.params.msg_processing_ms + extra_delay_ms
+        event = self.sim.schedule(latency, fn, *args)
+        return event.time

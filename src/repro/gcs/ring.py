@@ -1,0 +1,191 @@
+"""Totem-style token-ring sequencer for Agreed multicast.
+
+Spread orders Agreed messages by circulating a token among daemons: only
+the token holder may sequence messages (§6.2.2 — "group communication
+systems use a mechanism where a token is passed between participants and
+only the entity that has the token is allowed to send").  This is the
+mechanism behind two of the paper's WAN findings: every broadcast waits
+for the token (on average half a ring rotation), and "simultaneous"
+broadcasts from different members serialize on token visits — in *ring*
+order, so one sweep services every daemon with pending messages.
+
+While work is pending the token hops from daemon to daemon as discrete
+events; when a full rotation finds nothing to sequence, the token *parks*
+and its position is thereafter tracked arithmetically, preserving exactly
+the arrival times a continuously rotating token would have.
+
+A message sequenced by daemon *s* becomes deliverable at daemon *d* only
+once the token has swept from *s* to *d* (the ordering-settlement
+barrier), which is what stretches a WAN Agreed delivery beyond raw
+propagation time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.gcs.topology import Topology
+from repro.sim.cpu import Machine
+from repro.sim.engine import Simulator
+
+#: Callback type: receives [(seq, sequenced_at_ms), ...] for its burst.
+SequenceCallback = Callable[[List[Tuple[int, float]]], None]
+
+
+class TokenRing:
+    """Sequencer for one daemon configuration.
+
+    ``machines`` fixes the ring order (daemon-id order, which groups
+    machines by site so the token crosses each WAN link once per cycle).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        machines: Sequence[Machine],
+        sim: Optional[Simulator] = None,
+    ):
+        if not machines:
+            raise ValueError("a ring needs at least one daemon")
+        self._machines = list(machines)
+        self._params = topology.params
+        self._sim = sim
+        n = len(machines)
+        self._hop_ms: List[float] = []
+        for i in range(n):
+            nxt = machines[(i + 1) % n]
+            hop = topology.one_way_ms(machines[i], nxt) + self._params.hop_processing_ms
+            self._hop_ms.append(hop)
+        self.cycle_ms = sum(self._hop_ms)
+        # Parked-token state: it was at position ``_pos`` at time ``_time``
+        # and has been rotating freely since.
+        self._pos = 0
+        self._time = 0.0
+        self._next_seq = 1
+        self._active = False
+        self._pending: Dict[int, List[Tuple[int, SequenceCallback]]] = {}
+        self._idle_hops = 0
+
+    # -- static geometry ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._machines)
+
+    def distance_ms(self, src_index: int, dst_index: int) -> float:
+        """Token travel time from ``src_index`` forward to ``dst_index``.
+
+        Zero when src == dst (the sequencer itself needs no settlement
+        sweep: it holds the token).
+        """
+        total = 0.0
+        i = src_index
+        while i != dst_index:
+            total += self._hop_ms[i]
+            i = (i + 1) % len(self._machines)
+        return total
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next sequenced message will get."""
+        return self._next_seq
+
+    # -- parked-position arithmetic -----------------------------------------
+
+    def _advance_to(self, now: float) -> None:
+        """Move the parked token's state to where it would be at ``now``."""
+        if self._time >= now or len(self._machines) == 1:
+            return
+        elapsed = now - self._time
+        full_cycles = int(elapsed // self.cycle_ms)
+        self._time += full_cycles * self.cycle_ms
+        while self._time + self._hop_ms[self._pos] <= now:
+            self._time += self._hop_ms[self._pos]
+            self._pos = (self._pos + 1) % len(self._machines)
+
+    def arrival_at(self, index: int, now: float) -> float:
+        """When a free-rotating token next reaches ``index`` at/after ``now``.
+
+        Only meaningful while the token is parked (used by tests and
+        latency estimation); while active the hop events govern arrivals.
+        """
+        if len(self._machines) == 1:
+            return max(self._time, now)
+        self._advance_to(now)
+        t = self._time
+        pos = self._pos
+        while pos != index:
+            t += self._hop_ms[pos]
+            pos = (pos + 1) % len(self._machines)
+        if t < now:
+            t += self.cycle_ms
+        return t
+
+    # -- sequencing ----------------------------------------------------------
+
+    def request(self, index: int, count: int, callback: SequenceCallback) -> None:
+        """Ask for ``count`` sequence numbers at daemon ``index``.
+
+        The callback fires when the token next visits ``index`` — requests
+        across daemons are serviced in ring order, one sweep per rotation,
+        exactly like a physical token.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if not 0 <= index < len(self._machines):
+            raise IndexError(f"no daemon at ring position {index}")
+        if self._sim is None:
+            raise RuntimeError("this ring was built without a simulator")
+        self._pending.setdefault(index, []).append((count, callback))
+        if not self._active:
+            self._activate()
+
+    def _activate(self) -> None:
+        now = self._sim.now
+        self._advance_to(now)
+        if self._time < now:
+            # The token already left ``_pos``; it next arrives one hop on.
+            self._time += self._hop_ms[self._pos]
+            self._pos = (self._pos + 1) % len(self._machines)
+            self._time = max(self._time, now)  # single-daemon rings
+        self._active = True
+        self._idle_hops = 0
+        self._sim.schedule_at(self._time, self._visit)
+
+    def _visit(self) -> None:
+        """The token arrives at ``self._pos``: service its queue, hop on."""
+        index = self._pos
+        queue = self._pending.pop(index, [])
+        # Flow control: at most ``token_window`` messages per visit; the
+        # rest wait for the next rotation (Totem's sequencing window).
+        window = max(self._params.token_window, 1)
+        burst, leftover = [], []
+        taken = 0
+        for count, callback in queue:
+            if taken + count <= window or not burst:
+                burst.append((count, callback))
+                taken += count
+            else:
+                leftover.append((count, callback))
+        if leftover:
+            self._pending[index] = leftover
+        t = self._time
+        if burst:
+            self._idle_hops = 0
+            for count, callback in burst:
+                assignments = []
+                for _ in range(count):
+                    t += self._params.msg_processing_ms
+                    assignments.append((self._next_seq, t))
+                    self._next_seq += 1
+                callback(assignments)
+        else:
+            self._idle_hops += 1
+        if not self._pending and self._idle_hops >= len(self._machines):
+            # A full quiet rotation: park here (lazy rotation resumes).
+            self._active = False
+            self._time = t
+            return
+        self._time = t + self._hop_ms[index]
+        self._pos = (index + 1) % len(self._machines)
+        self._sim.schedule_at(self._time, self._visit)

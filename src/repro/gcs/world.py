@@ -1,0 +1,114 @@
+"""Construction and control of a simulated Spread deployment.
+
+:class:`GcsWorld` wires together the simulator, network, one daemon per
+machine and the bootstrap token ring, and offers the fault-injection knobs
+(partition / heal) the paper's membership events require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.gcs.client import SpreadClient
+from repro.gcs.daemon import Config, Daemon
+from repro.gcs.network import Network
+from repro.gcs.ring import TokenRing
+from repro.gcs.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+class GcsWorld:
+    """A running group communication deployment on a topology."""
+
+    def __init__(self, topology: Topology, trace: bool = False) -> None:
+        self.topology = topology
+        self.params = topology.params
+        self.sim = Simulator()
+        self.tracer = Tracer(enabled=trace)
+        self.network = Network(self.sim, topology, self.tracer)
+        self.daemons: Dict[int, Daemon] = {}
+        self.client_directory: Dict[str, Daemon] = {}
+        for index, machine in enumerate(topology.machines):
+            daemon = Daemon(index, machine, self)
+            self.daemons[index] = daemon
+            self.network.register(daemon)
+        ring = TokenRing(topology, topology.machines, self.sim)
+        config = Config(
+            config_id=(1, 0), daemon_ids=tuple(sorted(self.daemons)), ring=ring
+        )
+        for daemon in self.daemons.values():
+            daemon.install_initial(config)
+        self._bootstrap_cycle_ms = ring.cycle_ms
+
+    # -- clients -----------------------------------------------------------
+
+    def client(self, name: str, machine_index: int) -> SpreadClient:
+        """Create a client process on the given machine's daemon."""
+        return SpreadClient(name, self.daemons[machine_index])
+
+    def spawn_clients(self, names: Sequence[str]) -> List[SpreadClient]:
+        """Create clients distributed uniformly across machines (§6.1.1:
+        "group members are uniformly distributed on the thirteen machines")."""
+        count = len(self.topology.machines)
+        return [self.client(name, i % count) for i, name in enumerate(names)]
+
+    # -- fault injection -----------------------------------------------------
+
+    def default_detection_ms(self) -> float:
+        """Failure-detector latency: a few bootstrap ring cycles."""
+        return self.params.failure_detection_cycles * self._bootstrap_cycle_ms
+
+    def partition(
+        self,
+        components: Iterable[Iterable[int]],
+        detection_delay_ms: Optional[float] = None,
+    ) -> None:
+        """Partition the network into components of machine indices."""
+        delay = (
+            self.default_detection_ms()
+            if detection_delay_ms is None
+            else detection_delay_ms
+        )
+        self.network.set_partition(components, delay)
+
+    def heal(self, detection_delay_ms: Optional[float] = None) -> None:
+        """Heal all partitions (a network merge event)."""
+        delay = (
+            self.default_detection_ms()
+            if detection_delay_ms is None
+            else detection_delay_ms
+        )
+        self.network.heal(delay)
+
+    def isolate_machine(
+        self, machine_index: int, detection_delay_ms: Optional[float] = None
+    ) -> None:
+        """Cut one machine off from the rest (its daemon and clients with
+        it) — the closest simulable analogue of a machine crash from the
+        surviving group's perspective (the paper treats a member crash as
+        a leave, §5)."""
+        others = [i for i in self.daemons if i != machine_index]
+        self.partition([[machine_index], others], detection_delay_ms)
+
+    def crash_client(self, name: str) -> None:
+        """Disconnect a client process abruptly (a member crash: the
+        daemon notices immediately and the group sees a leave)."""
+        daemon = self.client_directory.get(name)
+        if daemon is None:
+            raise KeyError(f"no connected client named {name!r}")
+        daemon.clients[name].disconnect()
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation (see :meth:`repro.sim.engine.Simulator.run`)."""
+        self.sim.run(until=until)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Run until no events remain."""
+        self.sim.run_until_idle(max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

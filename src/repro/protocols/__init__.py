@@ -1,0 +1,55 @@
+"""The five group key agreement protocols the paper evaluates (§4).
+
+Each protocol is a transport-independent, message-driven state machine: a
+member's instance consumes membership views and (totally ordered) protocol
+messages, and emits protocol messages, until every current member holds the
+same fresh group key.
+
+* :mod:`repro.protocols.gdh` — Cliques GDH IKA.3, group Diffie-Hellman with
+  a token round, factor-out round and partial-key-list broadcast.
+* :mod:`repro.protocols.ckd` — Centralized Key Distribution from the oldest
+  member over pairwise Diffie-Hellman channels.
+* :mod:`repro.protocols.bd` — Burmester-Desmedt: two all-broadcast rounds,
+  constant full exponentiations, hidden small-exponent cost.
+* :mod:`repro.protocols.tgdh` — Tree-based group Diffie-Hellman on the
+  binary key tree of :mod:`repro.protocols.keytree`.
+* :mod:`repro.protocols.str_protocol` — STR, the fully imbalanced
+  ("skinny") key tree.
+
+:mod:`repro.protocols.loopback` drives protocol instances over an in-memory
+ordered transport for correctness tests and operation counting.
+"""
+
+from repro.protocols.base import (
+    KeyAgreementProtocol,
+    ProtocolMessage,
+    classify_event,
+)
+from repro.protocols.bd import BdProtocol
+from repro.protocols.ckd import CkdProtocol
+from repro.protocols.gdh import GdhProtocol
+from repro.protocols.loopback import LoopbackGroup
+from repro.protocols.str_protocol import StrProtocol
+from repro.protocols.tgdh import TgdhProtocol
+
+#: All five protocols, keyed by the names used throughout the paper.
+PROTOCOLS = {
+    "GDH": GdhProtocol,
+    "CKD": CkdProtocol,
+    "BD": BdProtocol,
+    "TGDH": TgdhProtocol,
+    "STR": StrProtocol,
+}
+
+__all__ = [
+    "KeyAgreementProtocol",
+    "ProtocolMessage",
+    "classify_event",
+    "GdhProtocol",
+    "CkdProtocol",
+    "BdProtocol",
+    "TgdhProtocol",
+    "StrProtocol",
+    "LoopbackGroup",
+    "PROTOCOLS",
+]

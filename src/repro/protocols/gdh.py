@@ -1,0 +1,249 @@
+"""Cliques GDH IKA.3 group Diffie-Hellman (paper §4.1, Figures 1 and 2).
+
+The shared key is ``g^(r_1 r_2 ... r_n)``; it is never transmitted.
+What circulates is the list of *partial keys* ``P_i = g^(∏_{j≠i} r_j)``
+from which member *i* computes ``K = P_i^{r_i}``.  The **group controller**
+(always the most recent member) builds and broadcasts this list; every
+member caches the last list, which is what lets any member take over as
+controller after the controller leaves.
+
+Additive events (join = merge with one member):
+  token round(s) through the new members → last new member broadcasts the
+  accumulated value → every other member *factors out* its contribution
+  (an Agreed message targeted at the new controller — §6.2.2 explains why
+  this must be totally ordered and what that costs on a WAN) → the new
+  controller exponentiates each factor with its fresh contribution and
+  broadcasts the new partial-key list.
+
+Subtractive events (leave / partition): the surviving controller deletes
+the leavers' partial keys, refreshes its own contribution into every
+remaining partial key, and broadcasts the list — one round, one message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.gcs.messages import View, ViewEvent
+from repro.protocols.base import KeyAgreementProtocol, ProtocolMessage, classify_event
+
+
+class GdhProtocol(KeyAgreementProtocol):
+    """One member's GDH IKA.3 instance."""
+
+    name = "GDH"
+
+    def __init__(self, member, group, rng, ledger=None):
+        super().__init__(member, group, rng, ledger)
+        self._r: Optional[int] = None
+        #: cached partial-key list from the last key-list broadcast
+        self._partials: Dict[str, int] = {}
+        self._factors: Dict[str, int] = {}
+        self._chain: List[str] = []
+        self._previous_members: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+
+    def start(self, view: View) -> List[ProtocolMessage]:
+        self._begin_epoch(view)
+        self._factors = {}
+        self._chain: List[str] = []
+        previous, self._previous_members = self._previous_members, view.members
+        if len(view.members) == 1:
+            return self._bootstrap()
+        event = classify_event(view)
+        if event in (ViewEvent.JOIN, ViewEvent.MERGE):
+            return self._start_additive(view, previous)
+        return self._start_subtractive(view)
+
+    def _bootstrap(self) -> List[ProtocolMessage]:
+        self._r = self.ctx.random_exponent(self.rng)
+        self._partials = {self.member: self.group.g}
+        self._complete(self.ctx.exp_g(self._r))
+        return []
+
+    # -- additive events (join / merge) ---------------------------------
+
+    def _new_members(self) -> List[str]:
+        """The merging members, in view order (canonical ``joined``)."""
+        return [m for m in self.view.members if m in self.view.joined]
+
+    def _start_additive(self, view: View, previous) -> List[ProtocolMessage]:
+        new_members = self._new_members()
+        old_members = [m for m in view.members if m not in view.joined]
+        if (
+            not new_members
+            or not old_members
+            or not set(old_members) <= set(self._partials)
+        ):
+            # Either no prior subgroup survives intact, or a cascaded event
+            # interrupted the previous agreement and the cached partial-key
+            # list no longer covers the old membership (every member's list
+            # agrees, so the fallback decision is uniform): run initial key
+            # agreement led by the oldest member.
+            return self._start_formation(view)
+        old_controller = old_members[-1]
+        if self.member != old_controller:
+            return []
+        # Refresh our contribution and launch the token down the new chain.
+        self._r = self.ctx.random_exponent(self.rng)
+        token = self.ctx.exp(self._partials[self.member], self._r)
+        self._chain = new_members
+        return [
+            self._message(
+                "gdh-token",
+                {"value": token, "chain": list(new_members)},
+                broadcast=False,
+                target=new_members[0],
+                requires_agreed=False,
+                element_count=1,
+            )
+        ]
+
+    def _start_formation(self, view: View) -> List[ProtocolMessage]:
+        """Initial key agreement: treat everyone but the oldest as new."""
+        if self.member != view.oldest:
+            return []
+        self._r = self.ctx.random_exponent(self.rng)
+        self._partials = {self.member: self.group.g}
+        token = self.ctx.exp_g(self._r)
+        chain = [m for m in view.members if m != self.member]
+        self._chain = chain
+        return [
+            self._message(
+                "gdh-token",
+                {"value": token, "chain": list(chain)},
+                broadcast=False,
+                target=chain[0],
+                requires_agreed=False,
+                element_count=1,
+            )
+        ]
+
+    def receive(self, message: ProtocolMessage) -> List[ProtocolMessage]:
+        if self._stale(message):
+            return []
+        handler = {
+            "gdh-token": self._on_token,
+            "gdh-upflow": self._on_upflow,
+            "gdh-factor": self._on_factor,
+            "gdh-keylist": self._on_keylist,
+        }.get(message.step)
+        if handler is None:
+            raise ValueError(f"unknown GDH step {message.step!r}")
+        return handler(message)
+
+    def _on_token(self, message: ProtocolMessage) -> List[ProtocolMessage]:
+        chain = list(message.body["chain"])
+        self._chain = chain
+        position = chain.index(self.member)
+        if position == len(chain) - 1:
+            # Last new member: the new controller.  Broadcast the
+            # accumulated value *without* adding a contribution (Figure 1).
+            self._factors["__upflow__"] = message.body["value"]
+            return [
+                self._message(
+                    "gdh-upflow",
+                    {"value": message.body["value"], "chain": chain},
+                    element_count=1,
+                )
+            ]
+        self._r = self.ctx.random_exponent(self.rng)
+        value = self.ctx.exp(message.body["value"], self._r)
+        return [
+            self._message(
+                "gdh-token",
+                {"value": value, "chain": chain},
+                broadcast=False,
+                target=chain[position + 1],
+                requires_agreed=False,
+                element_count=1,
+            )
+        ]
+
+    def _on_upflow(self, message: ProtocolMessage) -> List[ProtocolMessage]:
+        # Everyone except the new controller factors out its contribution
+        # and sends the result to the new controller, in Agreed order.
+        self._chain = list(message.body["chain"])
+        controller = self._chain[-1]
+        if self.member == controller:
+            self._factors["__upflow__"] = message.body["value"]
+            return self._maybe_build_keylist()
+        factor = self.ctx.exp(
+            message.body["value"], self.ctx.inv_exponent(self._r)
+        )
+        return [
+            self._message(
+                "gdh-factor",
+                {"factor": factor},
+                broadcast=True,
+                target=controller,
+                requires_agreed=True,
+                element_count=1,
+            )
+        ]
+
+    def _on_factor(self, message: ProtocolMessage) -> List[ProtocolMessage]:
+        if not self._chain or self.member != self._chain[-1]:
+            return []  # Agreed-targeted: only the controller processes it
+        self._factors[message.sender] = message.body["factor"]
+        return self._maybe_build_keylist()
+
+    def _maybe_build_keylist(self) -> List[ProtocolMessage]:
+        expected = len(self.view.members) - 1
+        upflow = self._factors.get("__upflow__")
+        have = len(self._factors) - ("__upflow__" in self._factors)
+        if upflow is None or have < expected:
+            return []
+        self._r = self.ctx.random_exponent(self.rng)
+        partials = {
+            sender: self.ctx.exp(factor, self._r)
+            for sender, factor in self._factors.items()
+            if sender != "__upflow__"
+        }
+        partials[self.member] = upflow
+        self._partials = partials
+        self._complete(self.ctx.exp(upflow, self._r))
+        return [
+            self._message(
+                "gdh-keylist",
+                {"partials": dict(partials)},
+                element_count=len(partials),
+            )
+        ]
+
+    def _on_keylist(self, message: ProtocolMessage) -> List[ProtocolMessage]:
+        self._partials = dict(message.body["partials"])
+        self._complete(self.ctx.exp(self._partials[self.member], self._r))
+        return []
+
+    # -- subtractive events (leave / partition) --------------------------
+
+    def _start_subtractive(self, view: View) -> List[ProtocolMessage]:
+        if not set(view.members) <= set(self._partials):
+            # A cascaded event interrupted the previous agreement; the
+            # cached list cannot rekey this membership.  Everyone's cached
+            # list agrees (views and key lists are totally ordered), so all
+            # members uniformly fall back to initial key agreement.
+            return self._start_formation(view)
+        controller = view.newest  # the most recent remaining member
+        if self.member != controller:
+            return []
+        fresh = self.ctx.random_exponent(self.rng)
+        shift = self.ctx.exponent_product(fresh, self.ctx.inv_exponent(self._r))
+        partials = {}
+        for member in view.members:
+            if member == self.member:
+                partials[member] = self._partials[member]
+            else:
+                partials[member] = self.ctx.exp(self._partials[member], shift)
+        self._r = fresh
+        self._partials = partials
+        self._complete(self.ctx.exp(partials[self.member], self._r))
+        return [
+            self._message(
+                "gdh-keylist",
+                {"partials": dict(partials)},
+                element_count=len(partials),
+            )
+        ]

@@ -1,0 +1,268 @@
+"""The binary key tree underlying TGDH (paper §4.3, Figures 4-7).
+
+Every node carries a secret **key** (known only to the members below it)
+and a public **blinded key** ``bkey = g^key`` (known group-wide once
+published).  A leaf's key is its member's session random; an internal
+node's key is the Diffie-Hellman agreement of its two children:
+``key = bkey_sibling ^ key_child``.  The root key is the group key.
+
+The tree structure evolves deterministically at every member — insertion
+uses the paper's heuristic ("the rightmost shallowest node which does not
+increase the height", footnote 5), and removal promotes the departed
+leaf's sibling — so members only ever need to exchange blinded keys.
+
+Secret keys are *local* state: a serialized tree carries blinded keys only
+("the keys are never broadcasted", Figure 4's footnote).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
+
+
+class TreeNode:
+    """One node of a key tree."""
+
+    __slots__ = ("member", "left", "right", "parent", "key", "bkey")
+
+    def __init__(
+        self,
+        member: Optional[str] = None,
+        left: Optional["TreeNode"] = None,
+        right: Optional["TreeNode"] = None,
+    ):
+        self.member = member
+        self.left = left
+        self.right = right
+        self.parent: Optional[TreeNode] = None
+        if left is not None:
+            left.parent = self
+        if right is not None:
+            right.parent = self
+        #: secret key — local knowledge of the members below this node
+        self.key: Optional[int] = None
+        #: published blinded key — group knowledge; None means invalidated
+        self.bkey: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.member is not None
+
+    def height(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.height(), self.right.height())
+
+    def sibling(self) -> Optional["TreeNode"]:
+        if self.parent is None:
+            return None
+        return self.parent.right if self.parent.left is self else self.parent.left
+
+
+class KeyTree:
+    """A member's replica of the group's key tree."""
+
+    def __init__(self, root: TreeNode):
+        self.root = root
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def singleton(cls, member: str, key: Optional[int] = None) -> "KeyTree":
+        node = TreeNode(member=member)
+        node.key = key
+        return cls(node)
+
+    # -- queries ----------------------------------------------------------
+
+    def leaves(self) -> List[TreeNode]:
+        """All leaves, left to right."""
+        found: List[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                found.append(node)
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+        return found
+
+    def members(self) -> List[str]:
+        """Member names, left to right."""
+        return [leaf.member for leaf in self.leaves()]
+
+    def leaf_of(self, member: str) -> TreeNode:
+        for leaf in self.leaves():
+            if leaf.member == member:
+                return leaf
+        raise KeyError(f"{member} is not in the tree")
+
+    def rightmost_member(self, node: Optional[TreeNode] = None) -> str:
+        """The rightmost leaf's member under ``node`` (default: the root)."""
+        node = node or self.root
+        while not node.is_leaf:
+            node = node.right
+        return node.member
+
+    def path(self, member: str) -> List[TreeNode]:
+        """Nodes from the member's leaf up to (and including) the root."""
+        node: Optional[TreeNode] = self.leaf_of(member)
+        nodes = []
+        while node is not None:
+            nodes.append(node)
+            node = node.parent
+        return nodes
+
+    def height(self) -> int:
+        return self.root.height()
+
+    def node_id(self, node: TreeNode) -> str:
+        """Root-relative address: '' for the root, then '0'/'1' per step."""
+        bits = []
+        while node.parent is not None:
+            bits.append("0" if node.parent.left is node else "1")
+            node = node.parent
+        return "".join(reversed(bits))
+
+    def find(self, node_id: str) -> TreeNode:
+        node = self.root
+        for bit in node_id:
+            node = node.left if bit == "0" else node.right
+        return node
+
+    # -- structural mutation ----------------------------------------------
+
+    def insertion_point(self, joining_height: int) -> TreeNode:
+        """The paper's heuristic: the rightmost shallowest node where
+        hanging a subtree of ``joining_height`` does not increase the
+        tree's height; the root if no such node exists."""
+        target_height = self.height()
+        best: Optional[TreeNode] = None
+        queue = deque([(self.root, 0)])
+        order: List[Tuple[TreeNode, int]] = []
+        while queue:
+            node, depth = queue.popleft()
+            order.append((node, depth))
+            if not node.is_leaf:
+                # Right child first => within a depth, rightmost comes first.
+                queue.append((node.right, depth + 1))
+                queue.append((node.left, depth + 1))
+        for node, depth in order:
+            if depth + 1 + max(node.height(), joining_height) <= target_height:
+                return node
+        return self.root
+
+    def insert_tree(self, other: "KeyTree") -> TreeNode:
+        """Graft ``other`` as the right sibling of the insertion point.
+
+        Returns the new intermediate node.  All keys and blinded keys from
+        the intermediate node up to the root are invalidated.
+        """
+        anchor = self.insertion_point(other.height())
+        parent = anchor.parent
+        intermediate = TreeNode(left=anchor, right=other.root)
+        if parent is None:
+            self.root = intermediate
+        else:
+            if parent.left is anchor:
+                parent.left = intermediate
+            else:
+                parent.right = intermediate
+            intermediate.parent = parent
+        self._invalidate_up(intermediate)
+        return intermediate
+
+    def remove_members(self, names: Iterable[str]) -> List[TreeNode]:
+        """Delete the given leaves, promoting each sibling (Figure 7).
+
+        Returns the nodes whose subtrees were promoted (the points whose
+        ancestors were invalidated).  Removal order is left-to-right tree
+        order, which every member computes identically.
+        """
+        doomed = set(names)
+        if not doomed:
+            return []
+        survivors = [m for m in self.members() if m not in doomed]
+        if not survivors:
+            raise ValueError("cannot remove every member from the tree")
+        promoted: List[TreeNode] = []
+        for name in [m for m in self.members() if m in doomed]:
+            leaf = self.leaf_of(name)
+            parent = leaf.parent
+            if parent is None:  # removing the only node cannot happen here
+                raise ValueError("cannot remove the last leaf")
+            sibling = leaf.sibling()
+            grand = parent.parent
+            sibling.parent = grand
+            if grand is None:
+                self.root = sibling
+            elif grand.left is parent:
+                grand.left = sibling
+            else:
+                grand.right = sibling
+            # Fully detach the removed leaf and its bypassed parent so
+            # stale references (e.g. recorded promotion points) can be
+            # recognized as no longer part of the tree.
+            parent.parent = None
+            leaf.parent = None
+            promoted.append(sibling)
+            # Only nodes *above* the promotion point become stale; the
+            # promoted subtree's own keys are still valid (freshness comes
+            # from the sponsor's session-random refresh).
+            self._invalidate_up(grand)
+        return promoted
+
+    def invalidate_path(self, member: str) -> None:
+        """Invalidate everything above a leaf (after a session-key refresh)."""
+        leaf = self.leaf_of(member)
+        self._invalidate_up(leaf.parent)
+
+    def _invalidate_up(self, node: Optional[TreeNode]) -> None:
+        while node is not None:
+            if not node.is_leaf:
+                node.key = None
+                node.bkey = None
+            node = node.parent
+
+    # -- serialization (blinded keys only) --------------------------------
+
+    def serialize(self):
+        """Nested-tuple form carrying structure and blinded keys only."""
+        return _serialize(self.root)
+
+    @classmethod
+    def deserialize(cls, data) -> "KeyTree":
+        return cls(_deserialize(data))
+
+    def bkey_count(self) -> int:
+        """How many blinded keys a serialization carries (for sizing)."""
+        return sum(1 for node in self._all_nodes() if node.bkey is not None)
+
+    def _all_nodes(self) -> List[TreeNode]:
+        nodes = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if not node.is_leaf:
+                stack.append(node.left)
+                stack.append(node.right)
+        return nodes
+
+
+def _serialize(node: TreeNode):
+    if node.is_leaf:
+        return ("L", node.member, node.bkey)
+    return ("N", _serialize(node.left), _serialize(node.right), node.bkey)
+
+
+def _deserialize(data) -> TreeNode:
+    if data[0] == "L":
+        node = TreeNode(member=data[1])
+        node.bkey = data[2]
+        return node
+    node = TreeNode(left=_deserialize(data[1]), right=_deserialize(data[2]))
+    node.bkey = data[3]
+    return node

@@ -1,0 +1,266 @@
+"""In-memory driver for key agreement protocols.
+
+:class:`LoopbackGroup` runs one protocol instance per member over a
+synchronous, totally ordered transport — no network, no virtual time —
+which is what the correctness tests and the Table 1 operation-counting
+benchmarks use.  Messages are delivered in deterministic rounds (all
+messages emitted in round *k* are delivered before any emitted in round
+*k+1*), so the driver also reports the paper's "communication rounds"
+measure directly.
+
+Partitions and merges are first-class: ``partition`` splits off a live
+subgroup (whose members keep their protocol state), and ``merge`` folds
+another subgroup back in with the canonical "new members" convention (the
+subgroup of the oldest member is the base; everyone else re-keys as a
+newcomer), matching what the Secure Spread layer derives from the group
+communication system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.crypto.groups import GROUP_TEST, SchnorrGroup
+from repro.crypto.ledger import OpCounts
+from repro.crypto.rng import DeterministicRandom
+from repro.gcs.messages import View, ViewEvent
+from repro.protocols.base import KeyAgreementProtocol, ProtocolMessage
+
+
+@dataclass
+class RunStats:
+    """What one membership event cost, as the loopback driver measured it."""
+
+    event: ViewEvent
+    members: Tuple[str, ...]
+    rounds: int
+    messages: List[ProtocolMessage]
+    op_counts: Dict[str, OpCounts]
+    key: int
+
+    @property
+    def total_messages(self) -> int:
+        return len(self.messages)
+
+    @property
+    def broadcasts(self) -> int:
+        return sum(1 for m in self.messages if m.broadcast)
+
+    @property
+    def unicasts(self) -> int:
+        return sum(1 for m in self.messages if not m.broadcast)
+
+    def exponentiations(self, member: Optional[str] = None) -> int:
+        """Full exponentiations by one member, or by everyone."""
+        if member is not None:
+            return self.op_counts[member].exp_count()
+        return sum(counts.exp_count() for counts in self.op_counts.values())
+
+    def max_exponentiations(self) -> int:
+        """The busiest member's exponentiation count."""
+        return max(counts.exp_count() for counts in self.op_counts.values())
+
+
+class LoopbackGroup:
+    """A group of protocol instances driven over an in-memory transport."""
+
+    def __init__(
+        self,
+        protocol_cls: Type[KeyAgreementProtocol],
+        group: SchnorrGroup = GROUP_TEST,
+        seed: int = 0,
+        _births: Optional[Dict[str, int]] = None,
+        _birth_counter: Optional[itertools.count] = None,
+        _view_counter: Optional[itertools.count] = None,
+    ):
+        self.protocol_cls = protocol_cls
+        self.group = group
+        self.seed = seed
+        self.protocols: Dict[str, KeyAgreementProtocol] = {}
+        self.departed: Dict[str, KeyAgreementProtocol] = {}
+        self._births = _births if _births is not None else {}
+        self._birth_counter = _birth_counter or itertools.count(1)
+        self._view_counter = _view_counter or itertools.count(1)
+        self.last_stats: Optional[RunStats] = None
+
+    # -- membership operations ---------------------------------------------
+
+    def members(self) -> Tuple[str, ...]:
+        """Current members ordered by join age (oldest first)."""
+        return tuple(sorted(self.protocols, key=lambda m: self._births[m]))
+
+    def join(self, name: str) -> RunStats:
+        """One member joins (the paper's join event)."""
+        if name in self.protocols:
+            raise ValueError(f"{name} is already a member")
+        rng = DeterministicRandom(self.seed)
+        self.protocols[name] = self.departed.pop(
+            name, None
+        ) or self.protocol_cls(name, self.group, rng)
+        self._births.setdefault(name, next(self._birth_counter))
+        view = self._view(ViewEvent.JOIN, joined=(name,))
+        return self._drive(view)
+
+    def leave(self, name: str) -> RunStats:
+        """One member leaves (the paper's leave event)."""
+        if name not in self.protocols:
+            raise ValueError(f"{name} is not a member")
+        self.departed[name] = self.protocols.pop(name)
+        view = self._view(ViewEvent.LEAVE, left=(name,))
+        return self._drive(view)
+
+    def partition(self, minority: List[str]) -> "LoopbackGroup":
+        """Split ``minority`` off into its own live subgroup.
+
+        Both sides re-key independently; the returned subgroup can later be
+        folded back with :meth:`merge`.
+        """
+        missing = [m for m in minority if m not in self.protocols]
+        if missing:
+            raise ValueError(f"not members: {missing}")
+        if len(minority) >= len(self.protocols):
+            raise ValueError("partition must leave a surviving majority side")
+        other = LoopbackGroup(
+            self.protocol_cls,
+            self.group,
+            self.seed,
+            _births=self._births,
+            _birth_counter=self._birth_counter,
+            _view_counter=self._view_counter,
+        )
+        for name in minority:
+            other.protocols[name] = self.protocols.pop(name)
+        majority_view = self._view(ViewEvent.PARTITION, left=tuple(minority))
+        self._drive(majority_view)
+        minority_view = other._view(
+            ViewEvent.PARTITION,
+            left=tuple(m for m in self.protocols),
+        )
+        other._drive(minority_view)
+        return other
+
+    def merge(self, other: "LoopbackGroup") -> RunStats:
+        """Fold another subgroup back in (the paper's merge event).
+
+        ``joined`` is canonical: the subgroup holding the oldest member
+        overall is the base; all other members re-key as newcomers.
+        """
+        if other.protocol_cls is not self.protocol_cls:
+            raise ValueError("cannot merge groups running different protocols")
+        all_members = list(self.protocols) + list(other.protocols)
+        oldest = min(all_members, key=lambda m: self._births[m])
+        base_side = self if oldest in self.protocols else other
+        joined = tuple(
+            sorted(
+                (m for m in all_members if m not in base_side.protocols),
+                key=lambda m: self._births[m],
+            )
+        )
+        self.protocols.update(other.protocols)
+        other.protocols = {}
+        view = self._view(ViewEvent.MERGE, joined=joined)
+        return self._drive(view)
+
+    def mass_join(self, names: List[str]) -> RunStats:
+        """Several fresh members join at once (merge of newcomers)."""
+        rng = DeterministicRandom(self.seed)
+        for name in names:
+            if name in self.protocols:
+                raise ValueError(f"{name} is already a member")
+            self.protocols[name] = self.protocol_cls(name, self.group, rng)
+            self._births.setdefault(name, next(self._birth_counter))
+        event = ViewEvent.MERGE if len(names) > 1 else ViewEvent.JOIN
+        view = self._view(event, joined=tuple(names))
+        return self._drive(view)
+
+    def mass_leave(self, names: List[str]) -> RunStats:
+        """Several members leave at once (the paper's partition event)."""
+        for name in names:
+            if name not in self.protocols:
+                raise ValueError(f"{name} is not a member")
+            self.departed[name] = self.protocols.pop(name)
+        view = self._view(ViewEvent.PARTITION, left=tuple(names))
+        return self._drive(view)
+
+    # -- key accessors --------------------------------------------------------
+
+    def shared_key(self) -> int:
+        """The group key, asserting every member agrees on it."""
+        keys = {proto.key for proto in self.protocols.values()}
+        if len(keys) != 1:
+            raise AssertionError(f"members disagree on the key: {len(keys)} values")
+        return keys.pop()
+
+    # -- internals -----------------------------------------------------------
+
+    def _view(
+        self,
+        event: ViewEvent,
+        joined: Tuple[str, ...] = (),
+        left: Tuple[str, ...] = (),
+    ) -> View:
+        return View(
+            view_id=(1, next(self._view_counter)),
+            group="loopback",
+            members=self.members(),
+            event=event,
+            joined=joined,
+            left=left,
+        )
+
+    def _drive(self, view: View) -> RunStats:
+        before = {
+            name: proto.ledger.snapshot() for name, proto in self.protocols.items()
+        }
+        outbox: List[ProtocolMessage] = []
+        for name in view.members:
+            outbox.extend(self.protocols[name].start(view))
+        rounds = 0
+        log: List[ProtocolMessage] = []
+        while outbox:
+            rounds += 1
+            log.extend(outbox)
+            next_outbox: List[ProtocolMessage] = []
+            for message in outbox:
+                for name in view.members:
+                    if name == message.sender:
+                        continue
+                    if message.target is not None and message.target != name:
+                        continue
+                    next_outbox.extend(self.protocols[name].receive(message))
+            outbox = next_outbox
+            if rounds > 10 * (len(view.members) + 2):
+                raise RuntimeError(f"{self.protocol_cls.name} did not converge")
+        for name in view.members:
+            proto = self.protocols[name]
+            if not proto.done_for(view):
+                raise AssertionError(f"{name} did not finish keying for {view}")
+        stats = RunStats(
+            event=view.event,
+            members=view.members,
+            rounds=rounds,
+            messages=log,
+            op_counts={
+                name: self.protocols[name].ledger.delta_since(before[name])
+                for name in view.members
+            },
+            key=self.shared_key(),
+        )
+        self.last_stats = stats
+        return stats
+
+
+def build_group(
+    protocol_cls: Type[KeyAgreementProtocol],
+    size: int,
+    group: SchnorrGroup = GROUP_TEST,
+    seed: int = 0,
+    prefix: str = "m",
+) -> LoopbackGroup:
+    """A convenience: form a group of ``size`` members by sequential joins."""
+    loop = LoopbackGroup(protocol_cls, group, seed)
+    for index in range(size):
+        loop.join(f"{prefix}{index}")
+    return loop

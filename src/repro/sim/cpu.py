@@ -1,0 +1,90 @@
+"""Machines with a fixed number of cores; CPU work serializes under load.
+
+The paper's LAN testbed is thirteen *dual-processor* 666 MHz Pentium III
+machines with group members distributed uniformly across them (§6.1.1).
+Two of its findings depend directly on CPU contention:
+
+* BD's cost "roughly doubles as the group size grows in increments of 13"
+  — every 13 new members put one more busy process on each machine;
+* performance degrades noticeably past 26 members — the point where a
+  dual-CPU machine first runs more than one process per core.
+
+:class:`Machine` models exactly that: submitted work units are placed on the
+least-loaded core FIFO, and a machine's ``speed`` scales work duration (the
+WAN testbed mixes platforms of different speeds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class Machine:
+    """A simulated host with ``cores`` CPUs of relative speed ``speed``.
+
+    ``speed=1.0`` is the reference platform the
+    :class:`~repro.crypto.costmodel.CostModel` is calibrated for; a machine
+    with ``speed=0.5`` takes twice the virtual time for the same work.
+    """
+
+    def __init__(
+        self, name: str, site: str = "lan", cores: int = 2, speed: float = 1.0
+    ):
+        if cores < 1:
+            raise ValueError("a machine needs at least one core")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.name = name
+        self.site = site
+        self.cores = cores
+        self.speed = speed
+        self._core_free: List[float] = [0.0] * cores
+        self.total_work_ms = 0.0
+
+    def submit(
+        self,
+        sim: Simulator,
+        work_ms: float,
+        fn: Optional[Callable] = None,
+        *args: Any,
+        not_before: float = 0.0,
+    ) -> float:
+        """Queue ``work_ms`` of reference-speed CPU work on this machine.
+
+        The work starts on the core that frees up first (but never before
+        ``not_before`` — used to serialize a single process's tasks) and
+        runs for ``work_ms / speed`` virtual milliseconds.  When ``fn`` is
+        given it fires at completion.  Returns the completion time.
+        """
+        if work_ms < 0:
+            raise ValueError("work_ms must be non-negative")
+        duration = work_ms / self.speed
+        index = min(range(self.cores), key=lambda i: self._core_free[i])
+        start = max(sim.now, not_before, self._core_free[index])
+        finish = start + duration
+        self._core_free[index] = finish
+        self.total_work_ms += duration
+        if fn is not None:
+            sim.schedule_at(finish, fn, *args)
+        return finish
+
+    def busy_until(self, sim: Simulator) -> float:
+        """Earliest time a newly submitted task could start."""
+        return max(sim.now, min(self._core_free))
+
+    def utilization_horizon(self) -> float:
+        """Latest time any core is currently booked until."""
+        return max(self._core_free)
+
+    def reset(self) -> None:
+        """Clear all queued work (used between benchmark repetitions)."""
+        self._core_free = [0.0] * self.cores
+        self.total_work_ms = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.name!r}, site={self.site!r}, cores={self.cores}, "
+            f"speed={self.speed})"
+        )

@@ -1,0 +1,118 @@
+"""Event heap and virtual clock.
+
+All times are virtual milliseconds.  Events scheduled for the same instant
+fire in scheduling order (a monotonic sequence number breaks ties), which
+makes every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.  Cancel with :meth:`cancel`."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Event(t={self.time:.3f}, {name})"
+
+
+class Simulator:
+    """Discrete-event simulator with a millisecond virtual clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute virtual time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} (now is {self.now})")
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event.  Returns False when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run until the event heap drains, ``until`` is reached, or
+        ``max_events`` more events have fired.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` even
+        if the heap drains earlier, so back-to-back ``run(until=...)`` calls
+        behave like a continuous timeline.
+        """
+        remaining = max_events
+        while self._heap:
+            if remaining is not None and remaining <= 0:
+                return
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            self.step()
+            if remaining is not None:
+                remaining -= 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Drain the heap completely; guard against runaway simulations."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely a livelock"
+                )

@@ -1,0 +1,54 @@
+"""Structured tracing of simulation activity.
+
+Tests assert on traces (e.g. "all daemons delivered the same sequence of
+agreed messages"), and benchmark debugging uses them to decompose elapsed
+time into membership, communication and computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence: what happened, where, and when."""
+
+    time: float
+    category: str
+    actor: str
+    detail: Dict[str, Any]
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records; cheap no-op when disabled."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, category: str, actor: str, **detail: Any) -> None:
+        """Append one trace event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(time, category, actor, detail))
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events matching all given criteria, in time order."""
+        selected = self.events
+        if category is not None:
+            selected = [e for e in selected if e.category == category]
+        if actor is not None:
+            selected = [e for e in selected if e.actor == actor]
+        if predicate is not None:
+            selected = [e for e in selected if predicate(e)]
+        return selected
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()

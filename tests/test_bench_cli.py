@@ -1,0 +1,49 @@
+"""Tests for the benchmark CLI (`python -m repro.bench`)."""
+
+import os
+
+import pytest
+
+from repro.bench.cli import FIGURES, build_parser, main
+
+
+def test_table_mode(capsys):
+    assert main(["--table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "GDH" in out and "TGDH" in out
+
+
+def test_figure_mode_small_run(capsys, tmp_path):
+    code = main([
+        "--figure", "14",
+        "--sizes", "3",
+        "--repeats", "1",
+        "--protocols", "STR", "CKD",
+        "--csv", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 14" in out
+    csvs = [f for f in os.listdir(tmp_path) if f.endswith(".csv")]
+    assert len(csvs) == 2  # join + leave
+    content = open(tmp_path / csvs[0]).read()
+    assert content.startswith("group_size,CKD,STR,membership")
+
+
+def test_requires_a_target():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--figure", "99"])
+
+
+def test_every_registered_figure_is_well_formed():
+    for panels in FIGURES.values():
+        for title, testbed, event, dh_group in panels:
+            assert event in ("join", "leave")
+            assert dh_group.startswith("dh-")
+            assert callable(testbed)

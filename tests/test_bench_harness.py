@@ -1,0 +1,117 @@
+"""Tests for the experiment harness (repro.bench)."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import EventMeasurement, grow_group, measure_event
+from repro.bench.report import render_series, series_to_csv
+from repro.bench.series import FigureSeries, sweep_group_sizes
+from repro.core import SecureSpreadFramework
+from repro.gcs.topology import lan_testbed
+
+
+def _fast(**kwargs):
+    defaults = dict(dh_group="dh-test", repeats=1)
+    defaults.update(kwargs)
+    return defaults
+
+
+class TestMeasureEvent:
+    def test_join_measurement(self):
+        result = measure_event(lan_testbed, "STR", 4, "join", **_fast())
+        assert isinstance(result, EventMeasurement)
+        assert result.protocol == "STR"
+        assert result.group_size == 4
+        assert result.total_ms > result.membership_ms > 0
+        assert result.key_agreement_ms == pytest.approx(
+            result.total_ms - result.membership_ms
+        )
+
+    def test_leave_measurement(self):
+        result = measure_event(lan_testbed, "TGDH", 5, "leave", **_fast())
+        assert result.event == "leave"
+        assert result.total_ms > 0
+
+    def test_ckd_leave_includes_controller_weighting(self):
+        result = measure_event(lan_testbed, "CKD", 6, "leave", **_fast())
+        assert result.total_ms > 0
+
+    def test_size_restored_between_repeats(self):
+        result = measure_event(
+            lan_testbed, "BD", 3, "join", dh_group="dh-test", repeats=3
+        )
+        assert result.samples == 3
+
+    def test_invalid_event_rejected(self):
+        with pytest.raises(ValueError):
+            measure_event(lan_testbed, "BD", 3, "banana", **_fast())
+
+    def test_grow_group_distributes_members(self):
+        framework = SecureSpreadFramework(
+            lan_testbed(), default_protocol="BD", dh_group="dh-test"
+        )
+        members = grow_group(framework, 15)
+        machines = {m.machine.name for m in members}
+        assert len(members) == 15
+        assert len(machines) == 13  # uniform distribution wraps around
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return sweep_group_sizes(
+            lan_testbed, ("BD", "STR"), "join", dh_group="dh-test",
+            sizes=(3, 5), repeats=1, name="unit-sweep",
+        )
+
+    def test_series_structure(self, series):
+        assert isinstance(series, FigureSeries)
+        assert series.sizes == [3, 5]
+        assert set(series.curves) == {"BD", "STR"}
+        assert len(series.membership) == 2
+
+    def test_accessors(self, series):
+        assert series.at("BD", 3) == series.curves["BD"][0]
+        assert series.membership_at(5) == series.membership[1]
+        winner = series.winner(5)
+        loser = series.loser(5)
+        assert series.at(winner, 5) <= series.at(loser, 5)
+
+    def test_render(self, series):
+        text = render_series(series)
+        assert "BD" in text and "STR" in text
+        assert "   3" in text and "   5" in text
+
+    def test_csv(self, series, tmp_path):
+        path = str(tmp_path / "out.csv")
+        series_to_csv(series, path)
+        lines = open(path).read().strip().splitlines()
+        assert lines[0] == "group_size,BD,STR,membership"
+        assert len(lines) == 3
+
+    def test_invalid_event_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_group_sizes(
+                lan_testbed, ("BD",), "banana", sizes=(3,), repeats=1
+            )
+
+
+class TestCrossover:
+    def test_crossover_detected(self):
+        series = FigureSeries(
+            name="t", event="join", dh_group="dh-512", topology="lan",
+            sizes=[2, 10, 20, 40],
+            curves={"BD": [1.0, 5.0, 20.0, 80.0], "GDH": [3.0, 8.0, 15.0, 30.0]},
+            membership=[0, 0, 0, 0],
+        )
+        assert series.crossover("BD", "GDH") == (10, 20)
+
+    def test_no_crossover_returns_none(self):
+        series = FigureSeries(
+            name="t", event="join", dh_group="dh-512", topology="lan",
+            sizes=[2, 10],
+            curves={"A": [1.0, 2.0], "B": [3.0, 4.0]},
+            membership=[0, 0],
+        )
+        assert series.crossover("A", "B") is None

@@ -1,0 +1,77 @@
+"""Tests for group-data encryption under the group key."""
+
+import pytest
+
+from repro.core.encryption import GroupCipher, IntegrityError, SealedMessage
+
+
+@pytest.fixture()
+def cipher():
+    return GroupCipher(group_key=123456789, epoch=(1, 7))
+
+
+def test_seal_open_roundtrip(cipher):
+    sealed = cipher.seal("alice", b"attack at dawn")
+    assert cipher.open(sealed) == b"attack at dawn"
+
+
+def test_ciphertext_differs_from_plaintext(cipher):
+    sealed = cipher.seal("alice", b"attack at dawn")
+    assert sealed.ciphertext != b"attack at dawn"
+
+
+def test_nonces_never_repeat(cipher):
+    nonces = {cipher.seal("alice", b"x").nonce for _ in range(50)}
+    assert len(nonces) == 50
+
+
+def test_tampered_ciphertext_rejected(cipher):
+    sealed = cipher.seal("alice", b"attack at dawn")
+    tampered = SealedMessage(
+        epoch=sealed.epoch,
+        sender=sealed.sender,
+        nonce=sealed.nonce,
+        ciphertext=bytes([sealed.ciphertext[0] ^ 1]) + sealed.ciphertext[1:],
+        mac=sealed.mac,
+    )
+    with pytest.raises(IntegrityError):
+        cipher.open(tampered)
+
+
+def test_tampered_mac_rejected(cipher):
+    sealed = cipher.seal("alice", b"attack at dawn")
+    tampered = SealedMessage(
+        epoch=sealed.epoch,
+        sender=sealed.sender,
+        nonce=sealed.nonce,
+        ciphertext=sealed.ciphertext,
+        mac=bytes(32),
+    )
+    with pytest.raises(IntegrityError):
+        cipher.open(tampered)
+
+
+def test_different_epochs_use_different_keys():
+    a = GroupCipher(111, (1, 1))
+    b = GroupCipher(111, (1, 2))
+    sealed = a.seal("alice", b"msg")
+    with pytest.raises(IntegrityError):
+        b.open(sealed)
+
+
+def test_different_group_keys_incompatible():
+    a = GroupCipher(111, (1, 1))
+    b = GroupCipher(222, (1, 1))
+    sealed = a.seal("alice", b"msg")
+    with pytest.raises(IntegrityError):
+        b.open(sealed)
+
+
+def test_empty_payload(cipher):
+    sealed = cipher.seal("alice", b"")
+    assert cipher.open(sealed) == b""
+
+
+def test_size_accounting(cipher):
+    sealed = cipher.seal("alice", b"x" * 100)
+    assert sealed.size_bytes >= 100

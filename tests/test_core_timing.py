@@ -1,0 +1,55 @@
+"""Tests for the rekey measurement timeline."""
+
+import pytest
+
+from repro.core.timing import EpochRecord, RekeyTimeline
+
+
+def test_elapsed_decomposition():
+    timeline = RekeyTimeline()
+    timeline.mark_event(100.0)
+    timeline.record_view((1, 1), "a", 102.0, ("a", "b"))
+    timeline.record_view((1, 1), "b", 103.0, ("a", "b"))
+    timeline.record_key((1, 1), "a", 110.0)
+    timeline.record_key((1, 1), "b", 112.0)
+    record = timeline.latest_complete()
+    assert record.membership_elapsed() == pytest.approx(3.0)
+    assert record.total_elapsed() == pytest.approx(12.0)
+    assert record.key_agreement_elapsed() == pytest.approx(9.0)
+
+
+def test_incomplete_epoch_not_reported():
+    timeline = RekeyTimeline()
+    timeline.mark_event(0.0)
+    timeline.record_view((1, 1), "a", 1.0, ("a", "b"))
+    timeline.record_key((1, 1), "a", 2.0)  # b never finishes
+    with pytest.raises(LookupError):
+        timeline.latest_complete()
+
+
+def test_latest_complete_picks_newest():
+    timeline = RekeyTimeline()
+    for seq in (1, 2):
+        timeline.mark_event(float(seq * 10))
+        timeline.record_view((1, seq), "a", seq * 10 + 1.0, ("a",))
+        timeline.record_key((1, seq), "a", seq * 10 + 2.0)
+    assert timeline.latest_complete().epoch == (1, 2)
+
+
+def test_duplicate_records_keep_first():
+    timeline = RekeyTimeline()
+    timeline.mark_event(0.0)
+    timeline.record_view((1, 1), "a", 1.0, ("a",))
+    timeline.record_view((1, 1), "a", 5.0, ("a",))
+    timeline.record_key((1, 1), "a", 2.0)
+    timeline.record_key((1, 1), "a", 9.0)
+    record = timeline.latest_complete()
+    assert record.view_delivered["a"] == 1.0
+    assert record.key_ready["a"] == 2.0
+
+
+def test_unmarked_event_raises():
+    record = EpochRecord(epoch=(1, 1))
+    record.view_delivered["a"] = 1.0
+    with pytest.raises(ValueError):
+        record.membership_elapsed()

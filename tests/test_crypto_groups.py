@@ -1,0 +1,63 @@
+"""Verification of the fixed Schnorr groups and lookup helpers."""
+
+import pytest
+
+from repro.crypto.groups import (
+    GROUP_512,
+    GROUP_1024,
+    GROUP_2048,
+    GROUP_TEST,
+    GROUP_TINY,
+    get_group,
+)
+from repro.crypto.primes import is_probable_prime
+
+
+@pytest.mark.parametrize(
+    "group,p_bits",
+    [
+        (GROUP_512, 512),
+        (GROUP_1024, 1024),
+        (GROUP_2048, 2048),
+        (GROUP_TEST, 64),
+        (GROUP_TINY, 10),
+    ],
+)
+def test_group_parameters_are_valid(group, p_bits):
+    assert group.p_bits == p_bits
+    assert is_probable_prime(group.p)
+    assert is_probable_prime(group.q)
+    assert (group.p - 1) % group.q == 0
+    assert pow(group.g, group.q, group.p) == 1
+    assert group.g not in (0, 1)
+
+
+@pytest.mark.parametrize("group", [GROUP_512, GROUP_1024, GROUP_2048])
+def test_paper_exponent_size(group):
+    # The paper uses 160-bit q for both 512- and 1024-bit p.
+    assert group.q_bits == 160
+
+
+def test_contains_accepts_subgroup_elements():
+    element = pow(GROUP_TINY.g, 17, GROUP_TINY.p)
+    assert GROUP_TINY.contains(element)
+
+
+def test_contains_rejects_outside_elements():
+    assert not GROUP_TINY.contains(0)
+    assert not GROUP_TINY.contains(GROUP_TINY.p)
+    # 2 generates the full group mod 1019 (order 1018, not 509).
+    assert not GROUP_TINY.contains(2)
+
+
+def test_get_group_by_name_bits_and_identity():
+    assert get_group("dh-512") is GROUP_512
+    assert get_group(1024) is GROUP_1024
+    assert get_group(GROUP_TEST) is GROUP_TEST
+
+
+def test_get_group_unknown_raises():
+    with pytest.raises(KeyError):
+        get_group("dh-333")
+    with pytest.raises(KeyError):
+        get_group(333)

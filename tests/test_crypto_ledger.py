@@ -1,0 +1,95 @@
+"""Tests for operation accounting (OperationLedger / OpCounts)."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.ledger import OpCounts, OperationLedger
+
+
+def test_snapshot_counts_exponentiations_by_modulus():
+    ledger = OperationLedger()
+    ledger.record_exponentiation(512)
+    ledger.record_exponentiation(512, 2)
+    ledger.record_exponentiation(1024)
+    snap = ledger.snapshot()
+    assert snap.exp_count(512) == 3
+    assert snap.exp_count(1024) == 1
+    assert snap.exp_count() == 4
+
+
+def test_small_exponentiation_multiplication_count():
+    ledger = OperationLedger()
+    # e=5 = 0b101: 2 squarings + 1 multiply = 3 mults.
+    ledger.record_small_exponentiation(512, 5)
+    assert ledger.snapshot().small_mult_count(512) == 3
+    # e=1 and e=0 cost nothing.
+    ledger.record_small_exponentiation(512, 1)
+    ledger.record_small_exponentiation(512, 0)
+    assert ledger.snapshot().small_mult_count(512) == 3
+
+
+def test_signature_and_verification_counts():
+    ledger = OperationLedger()
+    ledger.record_signature()
+    ledger.record_verification(3)
+    snap = ledger.snapshot()
+    assert snap.signatures == 1
+    assert snap.verifications == 3
+
+
+def test_delta_since():
+    ledger = OperationLedger()
+    ledger.record_exponentiation(512)
+    before = ledger.snapshot()
+    ledger.record_exponentiation(512, 4)
+    ledger.record_signature()
+    delta = ledger.delta_since(before)
+    assert delta.exp_count(512) == 4
+    assert delta.signatures == 1
+
+
+def test_delta_of_no_work_is_zero():
+    ledger = OperationLedger()
+    ledger.record_exponentiation(1024, 7)
+    before = ledger.snapshot()
+    assert ledger.delta_since(before).is_zero()
+
+
+def test_reset():
+    ledger = OperationLedger()
+    ledger.record_exponentiation(512)
+    ledger.record_multiplication(512)
+    ledger.reset()
+    assert ledger.snapshot().is_zero()
+
+
+def test_opcounts_addition_and_subtraction_roundtrip():
+    a = OpCounts(exponentiations=((512, 3),), signatures=2)
+    b = OpCounts(exponentiations=((512, 1), (1024, 2)), verifications=5)
+    total = a + b
+    assert total.exp_count(512) == 4
+    assert total.exp_count(1024) == 2
+    assert (total - b).exp_count(512) == 3
+    assert (total - b - a).is_zero()
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([512, 1024]), st.integers(1, 20)), max_size=10
+    )
+)
+def test_snapshot_matches_recorded_sum(records):
+    ledger = OperationLedger()
+    for bits, count in records:
+        ledger.record_exponentiation(bits, count)
+    expected = sum(count for _, count in records)
+    assert ledger.snapshot().exp_count() == expected
+
+
+def test_mult_count_tracks_plain_multiplications():
+    ledger = OperationLedger()
+    ledger.record_multiplication(512, 7)
+    ledger.record_multiplication(160, 2)
+    snap = ledger.snapshot()
+    assert snap.mult_count(512) == 7
+    assert snap.mult_count(160) == 2
+    assert snap.mult_count() == 9

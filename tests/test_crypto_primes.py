@@ -1,0 +1,85 @@
+"""Tests for Miller-Rabin primality and Schnorr parameter generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primes import (
+    generate_prime,
+    generate_safe_prime,
+    generate_schnorr_parameters,
+    is_probable_prime,
+)
+from repro.crypto.rng import DeterministicRandom
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 509, 1019, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 561, 1105, 1729, 2465, 6601, 8911, 2**32 + 1]
+
+
+@pytest.mark.parametrize("n", KNOWN_PRIMES)
+def test_known_primes_accepted(n):
+    assert is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites_rejected(n):
+    # Includes the first Carmichael numbers, which fool Fermat tests.
+    assert not is_probable_prime(n)
+
+
+def test_negative_numbers_rejected():
+    assert not is_probable_prime(-7)
+
+
+@given(st.integers(min_value=2, max_value=100_000))
+@settings(max_examples=300)
+def test_agrees_with_trial_division(n):
+    by_trial = n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+    assert is_probable_prime(n) == by_trial
+
+
+@pytest.mark.parametrize("bits", [8, 16, 32, 64, 128, 256])
+def test_generate_prime_bit_length(bits):
+    rng = DeterministicRandom(bits)
+    p = generate_prime(bits, rng)
+    assert p.bit_length() == bits
+    assert is_probable_prime(p)
+
+
+def test_generate_prime_rejects_tiny_request():
+    with pytest.raises(ValueError):
+        generate_prime(1, DeterministicRandom(0))
+
+
+def test_generate_safe_prime():
+    rng = DeterministicRandom(7)
+    p = generate_safe_prime(32, rng)
+    assert p.bit_length() == 32
+    assert is_probable_prime(p)
+    assert is_probable_prime((p - 1) // 2)
+
+
+@pytest.mark.parametrize("p_bits,q_bits", [(64, 32), (96, 40), (128, 64)])
+def test_schnorr_parameters(p_bits, q_bits):
+    rng = DeterministicRandom(p_bits * 1000 + q_bits)
+    p, q, g = generate_schnorr_parameters(p_bits, q_bits, rng)
+    assert p.bit_length() == p_bits
+    assert q.bit_length() == q_bits
+    assert is_probable_prime(p)
+    assert is_probable_prime(q)
+    assert (p - 1) % q == 0
+    assert pow(g, q, p) == 1
+    assert g != 1
+    # g must have order exactly q (q is prime, so order divides q => 1 or q).
+    assert pow(g, 1, p) != 1
+
+
+def test_schnorr_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        generate_schnorr_parameters(64, 64, DeterministicRandom(0))
+
+
+def test_generation_is_deterministic():
+    a = generate_prime(64, DeterministicRandom(42))
+    b = generate_prime(64, DeterministicRandom(42))
+    assert a == b

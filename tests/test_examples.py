@@ -1,0 +1,33 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The comparison example is exercised with a reduced sweep via its module
+functions elsewhere (it takes ~a minute); the four narrative examples run
+fully here in a few seconds each.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+EXAMPLES = [
+    "quickstart",
+    "partition_healing",
+    "replicated_whiteboard",
+    "secure_conference_wan",
+]
+
+
+@pytest.mark.parametrize("module_name", EXAMPLES)
+def test_example_runs_to_completion(module_name, capsys):
+    module = importlib.import_module(module_name)
+    module.main()  # examples assert their own invariants internally
+    out = capsys.readouterr().out
+    assert out.strip(), f"{module_name} produced no output"
+
+
+def test_comparison_example_importable():
+    module = importlib.import_module("protocol_comparison")
+    assert callable(module.main)

@@ -1,0 +1,47 @@
+"""Tests for message and view datatypes."""
+
+import pytest
+
+from repro.gcs.messages import GroupMessage, Service, View, ViewEvent
+
+
+class TestView:
+    def _view(self, members=("a", "b", "c")):
+        return View(
+            view_id=((1, 0), 4),
+            group="g",
+            members=tuple(members),
+            event=ViewEvent.JOIN,
+            joined=("c",),
+        )
+
+    def test_oldest_and_newest(self):
+        view = self._view()
+        assert view.oldest == "a"
+        assert view.newest == "c"
+
+    def test_contains(self):
+        view = self._view()
+        assert "b" in view
+        assert "z" not in view
+
+    def test_views_are_immutable(self):
+        view = self._view()
+        with pytest.raises(AttributeError):
+            view.members = ("x",)
+
+
+class TestGroupMessage:
+    def test_message_ids_are_unique(self):
+        a = GroupMessage(group="g", sender="s", payload=None)
+        b = GroupMessage(group="g", sender="s", payload=None)
+        assert a.msg_id != b.msg_id
+
+    def test_default_service_is_agreed(self):
+        message = GroupMessage(group="g", sender="s", payload=None)
+        assert message.service is Service.AGREED
+
+    def test_kinds(self):
+        for kind in ("data", "join", "leave", "disconnect"):
+            message = GroupMessage(group="g", sender="s", payload=None, kind=kind)
+            assert message.kind == kind

@@ -1,0 +1,174 @@
+"""Tests for network partitions, merges and configuration changes."""
+
+import pytest
+
+from repro.gcs import GcsWorld, ViewEvent, lan_testbed, wan_testbed
+
+
+def _grouped_world(names, group="g", testbed=lan_testbed):
+    world = GcsWorld(testbed())
+    clients = world.spawn_clients(names)
+    for client in clients:
+        # Sequential joins fix the join-age order to the listing order.
+        client.join(group)
+        world.run_until_idle()
+    return world, clients
+
+
+class TestPartition:
+    def test_each_component_sees_only_its_members(self):
+        world, (a, b, c) = _grouped_world(["a", "b", "c"])
+        world.partition([[0], [1, 2] + list(range(3, 13))])
+        world.run_until_idle()
+        assert a.views[-1].members == ("a",)
+        assert a.views[-1].event is ViewEvent.PARTITION
+        assert b.views[-1].members == ("b", "c")
+        assert b.views[-1].left == ("a",)
+        assert c.views[-1].members == ("b", "c")
+
+    def test_unaffected_group_gets_no_view(self):
+        world, (a, b) = _grouped_world(["a", "b"])  # machines 0 and 1
+        counts_before = (len(a.views), len(b.views))
+        world.partition([[0, 1], list(range(2, 13))])
+        world.run_until_idle()
+        assert (len(a.views), len(b.views)) == counts_before
+
+    def test_messages_do_not_cross_partition(self):
+        world, (a, b) = _grouped_world(["a", "b"])
+        world.partition([[0], list(range(1, 13))])
+        world.run_until_idle()
+        a.multicast("g", "lonely")
+        world.run_until_idle()
+        assert all(m.payload != "lonely" for m in b.received)
+        # a still delivers to itself within its singleton component
+        assert any(m.payload == "lonely" for m in a.received)
+
+    def test_multi_way_partition(self):
+        world, clients = _grouped_world(["a", "b", "c"])
+        world.partition([[0], [1], list(range(2, 13))])
+        world.run_until_idle()
+        for client in clients:
+            assert len(client.views[-1].members) == 1
+
+    def test_partition_views_consistent_within_component(self):
+        world, clients = _grouped_world([f"m{i}" for i in range(10)])
+        left_component = [0, 2, 4, 6, 8]
+        right_component = [1, 3, 5, 7, 9, 10, 11, 12]
+        world.partition([left_component, right_component])
+        world.run_until_idle()
+        evens = [c for i, c in enumerate(clients) if i % 2 == 0]
+        odds = [c for i, c in enumerate(clients) if i % 2 == 1]
+        for group_clients in (evens, odds):
+            reference = group_clients[0].views[-1].members
+            for client in group_clients:
+                assert client.views[-1].members == reference
+
+
+class TestMerge:
+    def test_heal_merges_views(self):
+        world, (a, b) = _grouped_world(["a", "b"])
+        world.partition([[0], list(range(1, 13))])
+        world.run_until_idle()
+        world.heal()
+        world.run_until_idle()
+        assert a.views[-1].members == ("a", "b")
+        assert a.views[-1].event is ViewEvent.MERGE
+        # ``joined`` is canonical: the members outside the component of the
+        # group's oldest member ("a"), identical at both sides.
+        assert a.views[-1].joined == ("b",)
+        assert b.views[-1].joined == ("b",)
+
+    def test_merge_preserves_join_age_order(self):
+        world, (a, b, c) = _grouped_world(["a", "b", "c"])
+        world.partition([[0, 1], [2] + list(range(3, 13))])
+        world.run_until_idle()
+        world.heal()
+        world.run_until_idle()
+        # Original join order restored after merge.
+        assert a.views[-1].members == ("a", "b", "c")
+
+    def test_traffic_flows_after_merge(self):
+        world, (a, b) = _grouped_world(["a", "b"])
+        world.partition([[0], list(range(1, 13))])
+        world.run_until_idle()
+        world.heal()
+        world.run_until_idle()
+        a.multicast("g", "reunited")
+        world.run_until_idle()
+        assert any(m.payload == "reunited" for m in b.received)
+
+    def test_total_order_holds_after_merge(self):
+        world, clients = _grouped_world([f"m{i}" for i in range(6)])
+        world.partition([[0, 1, 2], [3, 4, 5] + list(range(6, 13))])
+        world.run_until_idle()
+        world.heal()
+        world.run_until_idle()
+        for client in clients:
+            client.multicast("g", f"from-{client.name}")
+        world.run_until_idle()
+        reference = [m.payload for m in clients[0].received if str(m.payload).startswith("from-")]
+        assert len(reference) == 6
+        for client in clients[1:]:
+            got = [m.payload for m in client.received if str(m.payload).startswith("from-")]
+            assert got == reference
+
+    def test_wan_site_partition(self):
+        """Partition along the paper's WAN site boundary (ICU cut off)."""
+        world, clients = _grouped_world(
+            [f"m{i}" for i in range(13)], testbed=wan_testbed
+        )
+        icu_index = 12
+        world.partition([[icu_index], [i for i in range(13) if i != icu_index]])
+        world.run_until_idle()
+        icu_client = clients[icu_index]
+        assert icu_client.views[-1].members == (icu_client.name,)
+        mainland = clients[0]
+        assert len(mainland.views[-1].members) == 12
+
+
+class TestViewSynchrony:
+    def test_in_flight_messages_flushed_before_partition_view(self):
+        """A surviving member's in-flight message is delivered to the
+        surviving component before the new view (flush)."""
+        world, (a, b, c) = _grouped_world(["a", "b", "c"])
+        order = []
+        c.on_message = lambda _c, m: order.append(("msg", m.payload))
+        c.on_view = lambda _c, v: order.append(("view", v.event.value))
+        b.multicast("g", "pre-partition")  # b survives with c
+        # Detection fires after the message is sequenced (the token wait is
+        # ~1 cycle) but before its delivery settles everywhere.
+        world.partition([[0], list(range(1, 13))], detection_delay_ms=2.5)
+        world.run_until_idle()
+        kinds = [k for k, _ in order]
+        assert ("msg", "pre-partition") in order
+        assert kinds.index("msg") < kinds.index("view")
+
+    def test_cut_off_senders_message_not_delivered_to_survivors(self):
+        """A message whose origin daemon is partitioned away before
+        dissemination never reaches the other component."""
+        world, (a, b, c) = _grouped_world(["a", "b", "c"])
+        a.multicast("g", "doomed")
+        world.partition([[0], list(range(1, 13))], detection_delay_ms=0.2)
+        world.run_until_idle()
+        assert all(m.payload != "doomed" for m in b.received)
+        assert all(m.payload != "doomed" for m in c.received)
+
+    def test_surviving_members_deliver_same_flush_set(self):
+        world, clients = _grouped_world([f"m{i}" for i in range(8)])
+        for client in clients[:4]:
+            client.multicast("g", f"inflight-{client.name}")
+        world.partition(
+            [list(range(0, 7)), [7] + list(range(8, 13))], detection_delay_ms=0.3
+        )
+        world.run_until_idle()
+        survivors = clients[:7]
+        reference = [m.payload for m in survivors[0].received]
+        for client in survivors[1:]:
+            assert [m.payload for m in client.received] == reference
+
+    def test_config_change_latency_scales_with_detection(self):
+        world, (a, b) = _grouped_world(["a", "b"])
+        t0 = world.now
+        world.partition([[0], list(range(1, 13))], detection_delay_ms=50.0)
+        world.run_until_idle()
+        assert world.now - t0 >= 50.0

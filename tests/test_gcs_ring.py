@@ -1,0 +1,172 @@
+"""Tests for the token-ring sequencer."""
+
+import pytest
+
+from repro.gcs.ring import TokenRing
+from repro.gcs.topology import lan_testbed, wan_testbed
+from repro.sim.engine import Simulator
+
+
+def _ring(testbed=lan_testbed, machines=None):
+    sim = Simulator()
+    topo = testbed()
+    ring = TokenRing(topo, machines or topo.machines, sim)
+    return sim, ring
+
+
+def _request(sim, ring, index, count=1, at=0.0):
+    """Request sequencing and collect the assignments."""
+    collected = []
+    sim.schedule_at(max(at, sim.now), ring.request, index, count, collected.extend)
+    return collected
+
+
+def test_cycle_time_is_sum_of_hops():
+    _, ring = _ring()
+    # 13 hops of (0.08 link + 0.03 processing)
+    assert ring.cycle_ms == pytest.approx(13 * 0.11)
+
+
+def test_wan_cycle_dominated_by_site_links():
+    _, ring = _ring(wan_testbed)
+    expected = 10 * (0.08 + 0.03) + (17.5 + 0.03) + (75.0 + 0.03) + (67.5 + 0.03)
+    assert ring.cycle_ms == pytest.approx(expected)
+
+
+def test_sequencing_waits_for_token_arrival():
+    sim, ring = _ring()
+    got = _request(sim, ring, 5)
+    sim.run_until_idle()
+    ((seq, t),) = got
+    assert seq == 1
+    # Token starts at daemon 0 and travels 5 hops, plus message processing.
+    assert t == pytest.approx(5 * 0.11 + 0.05)
+
+
+def test_burst_sequencing_spaces_messages():
+    sim, ring = _ring()
+    got = _request(sim, ring, 0, count=3)
+    sim.run_until_idle()
+    seqs = [s for s, _ in got]
+    times = [t for _, t in got]
+    assert seqs == [1, 2, 3]
+    assert times[1] - times[0] == pytest.approx(0.05)
+
+
+def test_simultaneous_requests_serviced_in_ring_order():
+    """One sweep services every daemon with pending messages — requests
+    are NOT serialized by arrival order (a full-cycle penalty each)."""
+    sim, ring = _ring()
+    results = {}
+    # Submit in descending daemon order at the same instant.
+    for index in (7, 5, 3, 1):
+        collected = _request(sim, ring, index)
+        results[index] = collected
+    sim.run_until_idle()
+    times = {i: results[i][0][1] for i in results}
+    assert times[1] < times[3] < times[5] < times[7]
+    # All four serviced within a single rotation.
+    assert times[7] - times[1] < ring.cycle_ms
+
+
+def test_sequence_numbers_global_and_in_service_order():
+    sim, ring = _ring()
+    late = _request(sim, ring, 9)
+    early = _request(sim, ring, 2)
+    sim.run_until_idle()
+    assert early[0][0] == 1
+    assert late[0][0] == 2
+
+
+def test_token_parks_and_resumes_with_correct_phase():
+    sim, ring = _ring()
+    first = _request(sim, ring, 0)
+    sim.run_until_idle()
+    # Long idle period; the token's virtual position keeps rotating.
+    second = _request(sim, ring, 0, at=first[0][1] + 100.0)
+    sim.run_until_idle()
+    wait = second[0][1] - (first[0][1] + 100.0)
+    assert 0 <= wait <= ring.cycle_ms + 0.2
+
+
+def test_distance_is_directional():
+    _, ring = _ring()
+    assert ring.distance_ms(0, 1) == pytest.approx(0.11)
+    assert ring.distance_ms(1, 0) == pytest.approx(12 * 0.11)
+    assert ring.distance_ms(4, 4) == 0.0
+
+
+def test_single_daemon_ring():
+    sim, ring = _ring(machines=lan_testbed().machines[:1])
+    got = _request(sim, ring, 0, at=5.0)
+    sim.run_until_idle()
+    ((seq, t),) = got
+    assert seq == 1
+    assert t >= 5.0
+
+
+def test_request_validation():
+    sim, ring = _ring()
+    with pytest.raises(ValueError):
+        ring.request(0, 0, lambda a: None)
+    with pytest.raises(IndexError):
+        ring.request(99, 1, lambda a: None)
+
+
+def test_ring_without_simulator_rejects_requests():
+    topo = lan_testbed()
+    ring = TokenRing(topo, topo.machines)
+    with pytest.raises(RuntimeError):
+        ring.request(0, 1, lambda a: None)
+
+
+def test_empty_ring_rejected():
+    with pytest.raises(ValueError):
+        TokenRing(lan_testbed(), [], Simulator())
+
+
+def test_average_token_wait_about_half_cycle():
+    """Statistical: arrivals at random phases average ~cycle/2 of waiting."""
+    sim, ring = _ring()
+    samples = []
+    t = 10.0
+    for i in range(60):
+        t += 7.919  # irrational-ish spacing to sample phases
+        collected = _request(sim, ring, 3, at=t)
+        samples.append((t, collected))
+    sim.run_until_idle()
+    waits = [col[0][1] - t0 for t0, col in samples]
+    mean = sum(waits) / len(waits)
+    assert 0.2 * ring.cycle_ms < mean < 0.9 * ring.cycle_ms
+
+
+def test_flow_control_window_spreads_bursts_over_rotations():
+    """Totem-style flow control: one daemon may sequence at most
+    ``token_window`` messages per visit; excess waits a full rotation."""
+    from repro.gcs.topology import GcsParams
+
+    sim = Simulator()
+    topo = lan_testbed(GcsParams(token_window=2))
+    ring = TokenRing(topo, topo.machines, sim)
+    batches = []
+    for _ in range(2):
+        batches.append(_request(sim, ring, 0, count=2))
+    extra = _request(sim, ring, 0, count=1)
+    sim.run_until_idle()
+    first_visit_end = batches[0][-1][1]
+    # The first two requests (4 messages > window 2) already split, and
+    # the fifth message lands even later.
+    assert batches[1][0][1] - first_visit_end > ring.cycle_ms / 2
+    assert extra[0][1] >= batches[1][-1][1]
+
+
+def test_oversized_single_burst_not_starved():
+    """A single request larger than the window is still serviced whole."""
+    from repro.gcs.topology import GcsParams
+
+    sim = Simulator()
+    topo = lan_testbed(GcsParams(token_window=2))
+    ring = TokenRing(topo, topo.machines, sim)
+    got = _request(sim, ring, 0, count=5)
+    sim.run_until_idle()
+    assert [s for s, _ in got] == [1, 2, 3, 4, 5]

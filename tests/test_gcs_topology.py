@@ -1,0 +1,107 @@
+"""Tests for testbed topologies and link modelling."""
+
+import pytest
+
+from repro.gcs.topology import (
+    GcsParams,
+    Topology,
+    lan_testbed,
+    medium_wan_testbed,
+    wan_testbed,
+)
+from repro.sim.cpu import Machine
+
+
+class TestLanTestbed:
+    def test_thirteen_dual_cpu_machines(self):
+        topo = lan_testbed()
+        assert len(topo.machines) == 13
+        assert all(m.cores == 2 for m in topo.machines)
+        assert all(m.speed == 1.0 for m in topo.machines)
+
+    def test_single_site(self):
+        assert lan_testbed().sites == ["jhu-lan"]
+
+    def test_sub_millisecond_links(self):
+        topo = lan_testbed()
+        assert topo.one_way_ms(topo.machines[0], topo.machines[1]) < 1.0
+
+    def test_same_machine_cheaper_than_lan_link(self):
+        topo = lan_testbed()
+        m = topo.machines[0]
+        assert topo.one_way_ms(m, m) < topo.one_way_ms(m, topo.machines[1])
+
+
+class TestWanTestbed:
+    def test_thirteen_machines_three_sites(self):
+        topo = wan_testbed()
+        assert len(topo.machines) == 13
+        assert topo.sites == ["jhu", "uci", "icu"]
+
+    def test_paper_figure13_round_trips(self):
+        """Figure 13: JHU-UCI 35 ms, UCI-ICU 150 ms, ICU-JHU 135 ms."""
+        topo = wan_testbed()
+        jhu = topo.machine("jhu0")
+        uci = topo.machine("uci0")
+        icu = topo.machine("icu0")
+        assert topo.round_trip_ms(jhu, uci) == pytest.approx(35.0)
+        assert topo.round_trip_ms(uci, icu) == pytest.approx(150.0)
+        assert topo.round_trip_ms(icu, jhu) == pytest.approx(135.0)
+
+    def test_mixed_platforms(self):
+        topo = wan_testbed()
+        speeds = {m.name: m.speed for m in topo.machines}
+        assert speeds["uci0"] > 1.0  # the Athlon
+        assert speeds["icu0"] < 1.0  # the slower PIII
+
+    def test_wan_bandwidth_lower_than_lan(self):
+        topo = wan_testbed()
+        lan_link = topo.link(topo.machine("jhu0"), topo.machine("jhu1"))
+        wan_link = topo.link(topo.machine("jhu0"), topo.machine("icu0"))
+        assert wan_link.bytes_per_ms < lan_link.bytes_per_ms
+
+    def test_size_adds_transmission_delay(self):
+        topo = wan_testbed()
+        a, b = topo.machine("jhu0"), topo.machine("icu0")
+        assert topo.one_way_ms(a, b, 10_000) > topo.one_way_ms(a, b, 0)
+
+
+class TestMediumWan:
+    def test_default_rtt_in_future_work_band(self):
+        topo = medium_wan_testbed()
+        sites = {}
+        for m in topo.machines:
+            sites.setdefault(m.site, m)
+        machines = list(sites.values())
+        rtt = topo.round_trip_ms(machines[0], machines[1])
+        assert 40 <= rtt <= 100
+
+    def test_custom_rtt(self):
+        topo = medium_wan_testbed(rtt_ms=50)
+        a = topo.machine("a0")
+        b = topo.machine("b0")
+        assert topo.round_trip_ms(a, b) == pytest.approx(50.0)
+
+    def test_rejects_absurd_rtt(self):
+        with pytest.raises(ValueError):
+            medium_wan_testbed(rtt_ms=0.1)
+
+
+class TestTopologyValidation:
+    def test_duplicate_machine_names_rejected(self):
+        machines = [Machine("m", site="s"), Machine("m", site="s")]
+        with pytest.raises(ValueError):
+            Topology("t", machines, site_latency_ms={})
+
+    def test_unconfigured_site_pair_raises(self):
+        machines = [Machine("a", site="s1"), Machine("b", site="s2")]
+        topo = Topology("t", machines, site_latency_ms={})
+        with pytest.raises(KeyError):
+            topo.one_way_ms(machines[0], machines[1])
+
+    def test_site_latency_is_symmetric(self):
+        machines = [Machine("a", site="s1"), Machine("b", site="s2")]
+        topo = Topology("t", machines, site_latency_ms={("s1", "s2"): 10.0})
+        assert topo.one_way_ms(machines[0], machines[1]) == pytest.approx(
+            topo.one_way_ms(machines[1], machines[0])
+        )

@@ -1,0 +1,176 @@
+"""Key tree structure tests (the TGDH substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.keytree import KeyTree, TreeNode
+
+
+def _grow(names):
+    tree = KeyTree.singleton(names[0])
+    for name in names[1:]:
+        tree.insert_tree(KeyTree.singleton(name))
+    return tree
+
+
+class TestStructure:
+    def test_singleton(self):
+        tree = KeyTree.singleton("a", key=7)
+        assert tree.members() == ["a"]
+        assert tree.height() == 0
+        assert tree.root.key == 7
+
+    def test_insert_keeps_all_members(self):
+        tree = _grow(["a", "b", "c", "d", "e"])
+        assert sorted(tree.members()) == ["a", "b", "c", "d", "e"]
+
+    def test_sequential_inserts_stay_balanced(self):
+        """The rightmost-shallowest heuristic keeps height logarithmic for
+        sequential joins (the paper: height < 2 log2 n)."""
+        import math
+
+        for n in (4, 8, 16, 31):
+            tree = _grow([f"m{i}" for i in range(n)])
+            assert tree.height() <= 2 * math.ceil(math.log2(n))
+
+    def test_insert_at_root_when_tree_full(self):
+        tree = _grow(["a", "b"])  # perfectly balanced, height 1
+        h_before = tree.height()
+        tree.insert_tree(KeyTree.singleton("c"))
+        assert tree.height() == h_before + 1  # had to grow
+
+    def test_insert_fills_gap_without_height_increase(self):
+        tree = _grow(["a", "b", "c"])  # height 2 with a free slot
+        tree.insert_tree(KeyTree.singleton("d"))
+        assert tree.height() == 2
+
+    def test_parent_pointers_consistent(self):
+        tree = _grow(["a", "b", "c", "d", "e"])
+        for leaf in tree.leaves():
+            node = leaf
+            while node.parent is not None:
+                assert node in (node.parent.left, node.parent.right)
+                node = node.parent
+            assert node is tree.root
+
+    def test_remove_promotes_sibling(self):
+        tree = _grow(["a", "b"])
+        tree.remove_members(["a"])
+        assert tree.members() == ["b"]
+        assert tree.root.is_leaf
+
+    def test_remove_multiple(self):
+        tree = _grow(["a", "b", "c", "d", "e", "f"])
+        tree.remove_members(["b", "e"])
+        assert sorted(tree.members()) == ["a", "c", "d", "f"]
+
+    def test_remove_adjacent_siblings(self):
+        tree = _grow(["a", "b", "c", "d"])
+        tree.remove_members(["a", "b"])
+        assert sorted(tree.members()) == ["c", "d"]
+
+    def test_cannot_remove_everyone(self):
+        tree = _grow(["a", "b"])
+        with pytest.raises(ValueError):
+            tree.remove_members(["a", "b"])
+
+    def test_internal_nodes_have_two_children(self):
+        tree = _grow([f"m{i}" for i in range(9)])
+        tree.remove_members(["m2", "m5", "m7"])
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.extend([node.left, node.right])
+
+
+class TestInvalidation:
+    def test_insert_invalidates_path_to_root(self):
+        tree = _grow(["a", "b", "c"])
+        for node in tree._all_nodes():
+            if not node.is_leaf:
+                node.key, node.bkey = 1, 2
+        joint = tree.insert_tree(KeyTree.singleton("d"))
+        node = joint
+        while node is not None:
+            assert node.key is None and node.bkey is None
+            node = node.parent
+
+    def test_remove_invalidates_above_promotion_only(self):
+        tree = _grow(["a", "b", "c", "d"])
+        for node in tree._all_nodes():
+            if not node.is_leaf:
+                node.key, node.bkey = 1, 2
+        leaf_d = tree.leaf_of("d")
+        sibling_subtree_root = leaf_d.sibling()
+        tree.remove_members(["d"])
+        # The promoted subtree keeps its keys; ancestors are cleared.
+        node = sibling_subtree_root
+        if not node.is_leaf:
+            assert node.key == 1
+        while node.parent is not None:
+            node = node.parent
+            assert node.key is None
+
+
+class TestSerialization:
+    def test_round_trip_preserves_structure_and_bkeys(self):
+        tree = _grow(["a", "b", "c", "d", "e"])
+        for i, node in enumerate(tree._all_nodes()):
+            node.bkey = 100 + i
+        clone = KeyTree.deserialize(tree.serialize())
+        assert clone.members() == tree.members()
+        assert clone.height() == tree.height()
+        assert [n.bkey for n in clone._all_nodes()] == [
+            n.bkey for n in tree._all_nodes()
+        ]
+
+    def test_serialization_never_carries_secret_keys(self):
+        tree = _grow(["a", "b", "c"])
+        for node in tree._all_nodes():
+            node.key = 42
+        flat = repr(tree.serialize())
+        assert "42" not in flat
+
+    def test_node_ids_round_trip(self):
+        tree = _grow(["a", "b", "c", "d", "e", "f", "g"])
+        for node in tree._all_nodes():
+            assert tree.find(tree.node_id(node)) is node
+
+
+class TestSponsorSelection:
+    def test_rightmost_member(self):
+        tree = _grow(["a", "b", "c", "d"])
+        assert tree.rightmost_member() == tree.members()[-1]
+
+    def test_rightmost_of_subtree(self):
+        tree = _grow(["a", "b", "c", "d"])
+        left_subtree = tree.root.left
+        expected = left_subtree
+        while not expected.is_leaf:
+            expected = expected.right
+        assert tree.rightmost_member(left_subtree) == expected.member
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=25, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_random_grow_shrink_preserves_invariants(indices):
+    """Property: any interleaving of inserts and removals keeps the tree
+    binary (internal nodes have exactly two children) and loses no member."""
+    names = [f"m{i}" for i in indices]
+    tree = _grow(names)
+    if len(names) > 1:
+        victims = names[:: 2][: len(names) - 1]
+        tree.remove_members(victims)
+        expected = [n for n in names if n not in victims]
+        assert sorted(tree.members()) == sorted(expected)
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if not node.is_leaf:
+            assert node.left and node.right
+            assert node.left.parent is node and node.right.parent is node
+            stack.extend([node.left, node.right])
+        else:
+            assert node.member is not None

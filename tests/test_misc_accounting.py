@@ -1,0 +1,49 @@
+"""Small accounting/introspection APIs not covered elsewhere."""
+
+import pytest
+
+from repro.gcs import GcsWorld, lan_testbed
+from repro.sim.cpu import Machine
+from repro.sim.engine import Simulator
+
+
+def test_machine_utilization_horizon():
+    sim = Simulator()
+    machine = Machine("m0", cores=2)
+    machine.submit(sim, 10)
+    machine.submit(sim, 30)
+    assert machine.utilization_horizon() == 30
+
+
+def test_simulator_pending_counter():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.schedule(6, lambda: None)
+    assert sim.pending == 2
+    sim.run_until_idle()
+    assert sim.pending == 0
+
+
+def test_network_counts_drops_across_partition():
+    world = GcsWorld(lan_testbed())
+    a = world.client("a", 0)
+    b = world.client("b", 1)
+    a.join("g")
+    world.run_until_idle()
+    b.join("g")
+    world.run_until_idle()
+    dropped_before = world.network.frames_dropped
+    # Partition with slow detection: a's dissemination still targets the
+    # full old configuration, so frames to the far side are dropped.
+    world.partition([[0], list(range(1, 13))], detection_delay_ms=50.0)
+    a.multicast("g", "into the void")
+    world.run_until_idle()
+    assert world.network.frames_dropped > dropped_before
+
+
+def test_network_rejects_malformed_partitions():
+    world = GcsWorld(lan_testbed())
+    with pytest.raises(ValueError):
+        world.network.set_partition([[0, 1], [1, 2]])  # overlapping
+    with pytest.raises(ValueError):
+        world.network.set_partition([[0, 1]])  # not covering

@@ -1,0 +1,73 @@
+"""Burmester-Desmedt specifics: key equation, symmetry, hidden cost."""
+
+import pytest
+
+from repro.crypto.groups import GROUP_TEST
+from repro.protocols import BdProtocol
+from repro.protocols.loopback import build_group
+
+
+def test_key_equation():
+    """K = g^(r1 r2 + r2 r3 + ... + rn r1)  (Figure 10)."""
+    loop = build_group(BdProtocol, 5)
+    members = loop.members()
+    q, p, g = GROUP_TEST.q, GROUP_TEST.p, GROUP_TEST.g
+    rs = [loop.protocols[m]._r for m in members]
+    exponent = sum(
+        rs[i] * rs[(i + 1) % len(rs)] for i in range(len(rs))
+    ) % q
+    assert loop.shared_key() == pow(g, exponent, p)
+
+
+def test_two_member_group_key_is_plain_dh():
+    """With n=2 the BD key degenerates to g^(2 r1 r2)."""
+    loop = build_group(BdProtocol, 2)
+    q, p, g = GROUP_TEST.q, GROUP_TEST.p, GROUP_TEST.g
+    r = [proto._r for proto in loop.protocols.values()]
+    assert loop.shared_key() == pow(g, (2 * r[0] * r[1]) % q, p)
+
+
+def test_every_event_runs_identical_protocol():
+    """BD has no special cases: join, leave and partition all cost
+    2 rounds and 2n broadcasts."""
+    loop = build_group(BdProtocol, 6)
+    for stats in (
+        loop.join("x"),
+        loop.leave("m2"),
+        loop.mass_leave(["m3", "m4"]),
+    ):
+        n = len(stats.members)
+        assert stats.rounds == 2
+        assert stats.total_messages == 2 * n
+        assert stats.broadcasts == 2 * n
+
+
+def test_exactly_three_full_exponentiations_per_member():
+    loop = build_group(BdProtocol, 8)
+    stats = loop.join("x")
+    for member, counts in stats.op_counts.items():
+        assert counts.exp_count() == 3, member
+
+
+def test_hidden_cost_grows_with_group_size():
+    """§5: the 'hidden' small-exponent multiplications scale ~n log n."""
+    small = build_group(BdProtocol, 4).join("x")
+    big = build_group(BdProtocol, 16, prefix="b").join("y")
+    small_mults = max(c.small_mult_count() for c in small.op_counts.values())
+    big_mults = max(c.small_mult_count() for c in big.op_counts.values())
+    assert big_mults > 3 * small_mults
+
+
+def test_no_member_has_special_duties():
+    """All members send exactly 2 broadcasts — no controller, no sponsor."""
+    loop = build_group(BdProtocol, 5)
+    stats = loop.join("x")
+    senders = [m.sender for m in stats.messages]
+    for member in stats.members:
+        assert senders.count(member) == 2
+
+
+def test_message_sizes_are_single_element():
+    loop = build_group(BdProtocol, 4)
+    stats = loop.join("x")
+    assert all(m.element_count == 1 for m in stats.messages)

@@ -1,0 +1,91 @@
+"""CKD specifics: controller role, channel lifecycle, costs."""
+
+import pytest
+
+from repro.protocols import CkdProtocol
+from repro.protocols.loopback import build_group
+
+
+def test_controller_is_oldest_member():
+    loop = build_group(CkdProtocol, 4)
+    stats = loop.join("x")
+    dist = [m for m in stats.messages if m.step == "ckd-dist"]
+    assert dist[0].sender == "m0"
+
+
+def test_join_is_three_rounds_three_messages():
+    """Table 1: CKD join = 3 rounds (pub, reply, distribute)."""
+    loop = build_group(CkdProtocol, 5)
+    stats = loop.join("x")
+    assert stats.rounds == 3
+    assert stats.total_messages == 3
+    steps = [m.step for m in stats.messages]
+    assert steps == ["ckd-pub", "ckd-reply", "ckd-dist"]
+
+
+def test_merge_uses_m_plus_2_messages():
+    loop = build_group(CkdProtocol, 4)
+    stats = loop.mass_join(["x0", "x1", "x2"])
+    assert stats.rounds == 3
+    assert stats.total_messages == 3 + 2  # pub + m replies + dist
+
+
+def test_steady_state_leave_is_single_broadcast():
+    """Channels persist, so a non-controller leave needs no setup round."""
+    loop = build_group(CkdProtocol, 6)
+    stats = loop.leave("m3")
+    assert stats.rounds == 1
+    assert stats.total_messages == 1
+    assert stats.messages[0].step == "ckd-dist"
+
+
+def test_controller_leave_forces_channel_reestablishment():
+    """The expensive case the paper weights with probability 1/n: the new
+    controller must run DH with every remaining member."""
+    loop = build_group(CkdProtocol, 5)
+    stats = loop.leave("m0")
+    steps = [m.step for m in stats.messages]
+    assert steps.count("ckd-pub") == 1
+    assert steps.count("ckd-reply") == 3  # every survivor but the controller
+    assert steps.count("ckd-dist") == 1
+    assert stats.rounds == 3
+    dist = [m for m in stats.messages if m.step == "ckd-dist"]
+    assert dist[0].sender == "m1"
+
+
+def test_leave_controller_cost_linear():
+    loop = build_group(CkdProtocol, 9)
+    stats = loop.leave("m4")
+    # 1 group secret + (n-1) encrypted entries
+    assert stats.exponentiations("m0") == len(stats.members)
+
+
+def test_member_decrypt_cost_constant():
+    for size in (4, 10):
+        loop = build_group(CkdProtocol, size, prefix=f"s{size}m")
+        stats = loop.leave(f"s{size}m2")
+        non_controller = stats.members[-1]
+        assert stats.exponentiations(non_controller) == 1
+
+
+def test_channels_survive_unrelated_leaves():
+    """A member's channel state is untouched by other members' departures."""
+    loop = build_group(CkdProtocol, 5)
+    loop.leave("m2")
+    loop.leave("m3")
+    member = loop.protocols["m1"]
+    assert "m0" in member._pair
+
+
+def test_distribution_table_excludes_controller():
+    loop = build_group(CkdProtocol, 4)
+    stats = loop.join("x")
+    dist = [m for m in stats.messages if m.step == "ckd-dist"][0]
+    assert set(dist.body["table"]) == set(stats.members) - {"m0"}
+
+
+def test_key_is_not_contributory():
+    """The group secret is whatever the controller generated (g^s)."""
+    loop = build_group(CkdProtocol, 3)
+    controller = loop.protocols["m0"]
+    assert loop.shared_key() == controller.key

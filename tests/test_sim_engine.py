@@ -1,0 +1,126 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run_until_idle()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(5, fired.append, label)
+    sim.run_until_idle()
+    assert fired == list("abcde")
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(5, inner)
+
+    def inner():
+        fired.append(("inner", sim.now))
+
+    sim.schedule(10, outer)
+    sim.run_until_idle()
+    assert fired == [("outer", 10), ("inner", 15)]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    sim.schedule(5, event.cancel)
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_run_until_does_not_fire_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, "early")
+    sim.schedule(150, fired.append, "late")
+    sim.run(until=100)
+    assert fired == ["early"]
+    assert sim.now == 100
+    sim.run(until=200)
+    assert fired == ["early", "late"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i, fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert not sim.step()
+
+
+def test_livelock_guard():
+    sim = Simulator()
+
+    def rescheduling():
+        sim.schedule(1, rescheduling)
+
+    sim.schedule(0, rescheduling)
+    with pytest.raises(RuntimeError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(i, lambda: None)
+    sim.run_until_idle()
+    assert sim.events_processed == 4
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+def test_delivery_order_is_sorted_for_any_delays(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda t=d: fired.append(t))
+    sim.run_until_idle()
+    assert fired == sorted(fired)

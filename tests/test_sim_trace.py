@@ -1,0 +1,34 @@
+"""Tests for the structured tracer."""
+
+from repro.sim.trace import Tracer
+
+
+def test_record_and_filter_by_category():
+    tracer = Tracer()
+    tracer.record(1.0, "send", "d0", size=10)
+    tracer.record(2.0, "deliver", "d1", size=10)
+    tracer.record(3.0, "send", "d1", size=20)
+    sends = tracer.filter(category="send")
+    assert [e.actor for e in sends] == ["d0", "d1"]
+
+
+def test_filter_by_actor_and_predicate():
+    tracer = Tracer()
+    tracer.record(1.0, "send", "d0", size=10)
+    tracer.record(2.0, "send", "d0", size=99)
+    big = tracer.filter(actor="d0", predicate=lambda e: e.detail["size"] > 50)
+    assert len(big) == 1
+    assert big[0].time == 2.0
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.record(1.0, "send", "d0")
+    assert tracer.events == []
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.record(1.0, "send", "d0")
+    tracer.clear()
+    assert tracer.events == []
