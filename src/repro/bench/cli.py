@@ -1,4 +1,4 @@
-"""Command-line front end: regenerate any of the paper's figures.
+"""Command-line front end: regenerate figures, or trace/attribute a rekey.
 
 Examples::
 
@@ -6,6 +6,9 @@ Examples::
     python -m repro.bench --figure 14 --repeats 1
     python -m repro.bench --figure 12 --sizes 4 13 26 --csv out/
     python -m repro.bench --table 1
+    python -m repro.bench trace --protocol TGDH --size 16 --event join \
+        -o trace.json                            # Chrome/Perfetto trace
+    python -m repro.bench report --protocol BD --size 13 --event leave
 """
 
 from __future__ import annotations
@@ -16,12 +19,23 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.table1 import render_table1
+from repro.bench.harness import _fresh_framework, grow_group
 from repro.bench.plot import render_plot
 from repro.bench.report import render_series, series_to_csv
 from repro.bench.series import DEFAULT_SIZES, sweep_group_sizes
 from repro.gcs.topology import lan_testbed, medium_wan_testbed, wan_testbed
+from repro.obs import render_report, validate_chrome_trace
 
 PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+
+TOPOLOGIES = {
+    "lan": lan_testbed,
+    "wan": wan_testbed,
+    "medium-wan": medium_wan_testbed,
+}
+
+#: Observability subcommands (everything else is the legacy flag interface).
+SUBCOMMANDS = ("trace", "report")
 
 #: figure number -> list of (title, testbed factory, event, dh group)
 FIGURES = {
@@ -83,7 +97,108 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Trace one membership event on the full simulated "
+        "stack, or print its span-based per-epoch phase attribution.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--protocol", choices=PROTOCOLS, default="TGDH",
+            help="key agreement protocol (default TGDH)",
+        )
+        p.add_argument(
+            "--size", type=int, default=16,
+            help="settled group size before the event (default 16)",
+        )
+        p.add_argument(
+            "--event", choices=("join", "leave"), default="join",
+            help="membership event to trace (default join)",
+        )
+        p.add_argument(
+            "--topology", choices=sorted(TOPOLOGIES), default="lan",
+            help="testbed to simulate (default lan)",
+        )
+        p.add_argument(
+            "--dh-group", default="dh-512", help="DH group (default dh-512)"
+        )
+        p.add_argument(
+            "--seed", type=int, default=0, help="simulation seed"
+        )
+
+    trace = sub.add_parser(
+        "trace", help="emit a Chrome trace-event JSON (Perfetto-loadable)"
+    )
+    add_common(trace)
+    trace.add_argument(
+        "-o", "--output", default="trace.json",
+        help="Chrome trace-event JSON output path (default trace.json)",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also dump raw spans + metrics as JSON lines",
+    )
+    report = sub.add_parser(
+        "report",
+        help="print the per-epoch membership/communication/computation "
+        "decomposition, reconciled against the rekey timeline",
+    )
+    add_common(report)
+    return parser
+
+
+def _run_observed_event(args):
+    """Grow a group, run one observed membership event, return the framework."""
+    framework = _fresh_framework(
+        TOPOLOGIES[args.topology], args.protocol, args.dh_group, args.seed,
+        observe=True,
+    )
+    members = grow_group(framework, args.size)
+    if args.event == "join":
+        joiner = framework.member(
+            "x1", (args.size + 1) % len(framework.world.topology.machines)
+        )
+        framework.mark_event()
+        joiner.join()
+    else:
+        victim = members[args.size // 2]
+        framework.mark_event()
+        victim.leave()
+    framework.run_until_idle()
+    return framework
+
+
+def run_subcommand(argv: Sequence[str]) -> int:
+    args = build_obs_parser().parse_args(argv)
+    framework = _run_observed_event(args)
+    title = (
+        f"{args.event} at n={args.size}, {args.protocol}, {args.dh_group}, "
+        f"{framework.world.topology.name}"
+    )
+    if args.command == "trace":
+        trace = framework.obs.write_chrome_trace(args.output)
+        validate_chrome_trace(trace)
+        print(
+            f"wrote {args.output}: {len(trace['traceEvents'])} trace events "
+            f"({len(framework.obs.spans)} spans, "
+            f"{framework.obs.spans.dropped} dropped) — {title}"
+        )
+        print("open in Perfetto (https://ui.perfetto.dev) or chrome://tracing")
+        if args.jsonl:
+            lines = framework.obs.to_jsonl(args.jsonl)
+            print(f"wrote {args.jsonl}: {lines} JSON lines (spans + metrics)")
+    else:
+        print(render_report(framework.timeline, framework.obs.spans, title))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return run_subcommand(argv)
     args = build_parser().parse_args(argv)
     if args.table == "1":
         print(render_table1())

@@ -12,15 +12,23 @@ middle-member leave, TGDH measured on the tree its own heuristic builds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.core.framework import SecureSpreadFramework
 from repro.gcs.topology import Topology
+from repro.obs.report import epoch_breakdown
 
 
 @dataclass
 class EventMeasurement:
-    """Averaged timings for one experiment cell."""
+    """Averaged timings for one experiment cell.
+
+    ``communication_ms`` and ``computation_ms`` are the span-based phase
+    attribution (averaged like the totals); they are ``None`` unless the
+    measurement ran with ``breakdown=True``.  When present,
+    ``membership_ms + communication_ms + computation_ms == total_ms``
+    (each sample reconciles exactly; averaging preserves the identity).
+    """
 
     protocol: str
     event: str
@@ -30,6 +38,8 @@ class EventMeasurement:
     total_ms: float
     membership_ms: float
     samples: int
+    communication_ms: Optional[float] = None
+    computation_ms: Optional[float] = None
 
     @property
     def key_agreement_ms(self) -> float:
@@ -41,12 +51,14 @@ def _fresh_framework(
     protocol: str,
     dh_group: str,
     seed: int,
+    observe: bool = False,
 ) -> SecureSpreadFramework:
     return SecureSpreadFramework(
         topology_factory(),
         default_protocol=protocol,
         dh_group=dh_group,
         seed=seed,
+        observe=observe,
     )
 
 
@@ -72,19 +84,30 @@ def measure_event(
     dh_group: str = "dh-512",
     repeats: int = 2,
     seed: int = 0,
+    breakdown: bool = False,
 ) -> EventMeasurement:
     """Average elapsed time for ``event`` at ``group_size`` members.
 
     ``event`` is ``"join"`` or ``"leave"`` (the two events the paper
     measures); each repeat performs the event on a settled group of
     exactly ``group_size`` members and restores the size afterwards.
+
+    With ``breakdown=True`` the framework runs with observability enabled
+    and the measurement also carries the averaged span-based
+    communication/computation attribution (the paper's §6 decomposition).
+    Observability is passive, so the timing numbers are identical either
+    way.
     """
     if event not in ("join", "leave"):
         raise ValueError("event must be 'join' or 'leave'")
-    framework = _fresh_framework(topology_factory, protocol, dh_group, seed)
+    framework = _fresh_framework(
+        topology_factory, protocol, dh_group, seed, observe=breakdown
+    )
     members = grow_group(framework, group_size)
     totals: List[float] = []
     memberships: List[float] = []
+    comms: List[float] = []
+    computs: List[float] = []
     extra_index = 0
     for repeat in range(repeats):
         if event == "join":
@@ -93,18 +116,27 @@ def measure_event(
                 f"x{extra_index}",
                 (group_size + extra_index) % len(framework.world.topology.machines),
             )
-            framework.timeline.mark_event(framework.now)
+            framework.mark_event()
             joiner.join()
             framework.run_until_idle()
             record = framework.timeline.latest_complete()
             totals.append(record.total_elapsed())
             memberships.append(record.membership_elapsed())
+            if breakdown:
+                phases = epoch_breakdown(record, framework.obs.spans)
+                comms.append(phases.communication_ms)
+                computs.append(phases.computation_ms)
             joiner.leave()  # restore the size (unmeasured)
             framework.run_until_idle()
         else:
-            total, membership = _measure_leave(framework, members, protocol)
+            total, membership, comm, comput = _measure_leave(
+                framework, members, protocol
+            )
             totals.append(total)
             memberships.append(membership)
+            if breakdown:
+                comms.append(comm)
+                computs.append(comput)
     return EventMeasurement(
         protocol=protocol,
         event=event,
@@ -114,15 +146,17 @@ def measure_event(
         total_ms=sum(totals) / len(totals),
         membership_ms=sum(memberships) / len(memberships),
         samples=repeats,
+        communication_ms=sum(comms) / len(comms) if comms else None,
+        computation_ms=sum(computs) / len(computs) if computs else None,
     )
 
 
 def _leave_and_time(framework, member):
-    framework.timeline.mark_event(framework.now)
+    framework.mark_event()
     member.leave()
     framework.run_until_idle()
     record = framework.timeline.latest_complete()
-    return record.total_elapsed(), record.membership_elapsed()
+    return record.total_elapsed(), record.membership_elapsed(), record
 
 
 def _rejoin(framework, member):
@@ -138,7 +172,13 @@ def _rejoin(framework, member):
 
 
 def _measure_leave(framework, members: List, protocol: str):
-    """One leave sample, honoring the paper's §6.1.2 conventions."""
+    """One leave sample, honoring the paper's §6.1.2 conventions.
+
+    Returns ``(total, membership, communication, computation)``; the phase
+    attribution entries are ``None`` unless the framework runs with
+    observability enabled.  CKD's controller-leave weighting is applied to
+    the phase attribution exactly as to the totals.
+    """
     n = len(members)
     if protocol == "STR":
         victim_index = n // 2  # the middle of the STR stack
@@ -147,16 +187,32 @@ def _measure_leave(framework, members: List, protocol: str):
     else:
         victim_index = n // 2
     victim = members[victim_index]
-    total, membership = _leave_and_time(framework, victim)
+    total, membership, record = _leave_and_time(framework, victim)
+    comm, comput = _phases_of(framework, record)
     members[victim_index] = _rejoin(framework, victim)
     if protocol == "CKD":
         # Weight in the controller-leave case with probability 1/n: the
         # departing controller forces full channel re-establishment.
         controller = members[0]
-        ctrl_total, ctrl_membership = _leave_and_time(framework, controller)
+        ctrl_total, ctrl_membership, ctrl_record = _leave_and_time(
+            framework, controller
+        )
+        ctrl_comm, ctrl_comput = _phases_of(framework, ctrl_record)
         replacement = _rejoin(framework, controller)
         members.pop(0)
         members.append(replacement)
         total = (1 - 1 / n) * total + (1 / n) * ctrl_total
         membership = (1 - 1 / n) * membership + (1 / n) * ctrl_membership
-    return total, membership
+        if comm is not None:
+            comm = (1 - 1 / n) * comm + (1 / n) * ctrl_comm
+            comput = (1 - 1 / n) * comput + (1 / n) * ctrl_comput
+    return total, membership, comm, comput
+
+
+def _phases_of(framework, record):
+    """Span-based (communication, computation) for one epoch record, or
+    ``(None, None)`` when observability is off."""
+    if not framework.obs.enabled:
+        return None, None
+    phases = epoch_breakdown(record, framework.obs.spans)
+    return phases.communication_ms, phases.computation_ms

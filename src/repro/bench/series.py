@@ -106,7 +106,7 @@ def sweep_group_sizes(
                         f"x{extra}",
                         (size + extra) % len(framework.world.topology.machines),
                     )
-                    framework.timeline.mark_event(framework.now)
+                    framework.mark_event()
                     joiner.join()
                     framework.run_until_idle()
                     record = framework.timeline.latest_complete()
@@ -115,7 +115,7 @@ def sweep_group_sizes(
                     joiner.leave()
                     framework.run_until_idle()
                 else:
-                    total, membership = _measure_leave(
+                    total, membership, _, _ = _measure_leave(
                         framework, members, protocol
                     )
                     totals.append(total)

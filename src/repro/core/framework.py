@@ -17,6 +17,7 @@ from repro.crypto.rng import DeterministicRandom
 from repro.crypto.rsa import RsaPublicKey
 from repro.gcs.topology import Topology
 from repro.gcs.world import GcsWorld
+from repro.obs import Observability
 from repro.protocols import PROTOCOLS
 from repro.protocols.base import KeyAgreementProtocol
 
@@ -34,13 +35,17 @@ class SecureSpreadFramework:
         sign_for_real: bool = False,
         rsa_bits: int = 512,
         trace: bool = False,
+        observe: bool = False,
     ):
         if default_protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {default_protocol!r}; "
                 f"choose from {sorted(PROTOCOLS)}"
             )
-        self.world = GcsWorld(topology, trace=trace)
+        #: the deployment's flight recorder (spans + metrics); recording is
+        #: passive, so enabling it never changes any measured time.
+        self.obs = Observability(enabled=observe)
+        self.world = GcsWorld(topology, trace=trace, obs=self.obs)
         self.group: SchnorrGroup = get_group(dh_group)
         self.cost_model = cost_model or pentium3_666()
         self.rng = DeterministicRandom(seed)
@@ -90,6 +95,18 @@ class SecureSpreadFramework:
     def public_key_of(self, member_name: str) -> RsaPublicKey:
         member = self._members[member_name]
         return member._keypair.public
+
+    # -- measurement ------------------------------------------------------------
+
+    def mark_event(self) -> None:
+        """Mark "now" as a membership event's injection instant (both on
+        the :class:`~repro.core.timing.RekeyTimeline` and, when
+        observability is on, as a trace instant)."""
+        self.timeline.mark_event(self.now)
+        if self.obs.enabled:
+            self.obs.instant(
+                "membership", "event injected", "world", "world", self.now
+            )
 
     # -- running ----------------------------------------------------------------
 

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.encryption import GroupCipher, SealedMessage
 from repro.crypto.rsa import RsaSigner, RsaVerifier, cached_rsa_keypair
+from repro.obs.metrics import record_op_counts
 from repro.gcs.client import SpreadClient
 from repro.gcs.messages import GroupMessage, View
 from repro.protocols.base import KeyAgreementProtocol, ProtocolMessage
@@ -50,6 +51,9 @@ class SecureGroupMember:
         self.protocol: KeyAgreementProtocol = protocol_cls(
             name, framework.group, framework.rng
         )
+        self.obs = framework.obs
+        self.protocol.obs = framework.obs
+        self._view_seen_at: Dict[Tuple[int, int], float] = {}
         keypair = cached_rsa_keypair(
             framework.rsa_bits, machine_index % 64
         )
@@ -120,7 +124,11 @@ class SecureGroupMember:
         self.framework.timeline.record_view(
             view.view_id, self.name, self.sim.now, view.members
         )
-        outputs = self._charged(lambda: self.protocol.start(view))
+        self._view_seen_at.setdefault(view.view_id, self.sim.now)
+        outputs = self._charged(
+            lambda: self.protocol.start(view),
+            label=f"{self.protocol.name}.start",
+        )
         self._after_protocol_step(view, outputs)
 
     # -- protocol message handling ----------------------------------------------
@@ -147,7 +155,9 @@ class SecureGroupMember:
                 return []
             return self.protocol.receive(pmsg)
 
-        outputs = self._charged(work)
+        outputs = self._charged(
+            work, label=f"{self.protocol.name}.{pmsg.step}"
+        )
         view = self.protocol.view
         if view is not None:
             self._after_protocol_step(view, outputs)
@@ -176,18 +186,30 @@ class SecureGroupMember:
             )
 
     def _sign(self, pmsg: ProtocolMessage):
+        span = None
+        before = None
+        if self.obs.enabled:
+            span = (
+                "crypto", f"sign {pmsg.protocol}.{pmsg.step}", self.name,
+                {"epoch": str(pmsg.epoch)},
+            )
+            before = self.protocol.ledger.snapshot()
         if not self.framework.sign_for_real:
             self.protocol.ledger.record_signature()
-            # Re-charge the CPU for the signature itself.
-            cost = self.framework.cost_model.sign_ms
-            self._cpu_tail = self.machine.submit(
-                self.sim, cost, not_before=self._cpu_tail
+            signature = None
+        else:
+            signature = self._signer.sign(_message_bytes(pmsg))
+        if before is not None:
+            record_op_counts(
+                self.obs.metrics,
+                self.protocol.ledger.delta_since(before),
+                member=self.name,
+                epoch=str(pmsg.epoch),
             )
-            return None
-        signature = self._signer.sign(_message_bytes(pmsg))
+        # Re-charge the CPU for the signature itself.
         cost = self.framework.cost_model.sign_ms
         self._cpu_tail = self.machine.submit(
-            self.sim, cost, not_before=self._cpu_tail
+            self.sim, cost, not_before=self._cpu_tail, span=span
         )
         return signature
 
@@ -217,6 +239,16 @@ class SecureGroupMember:
             oldest = min(self._ciphers)
             del self._ciphers[oldest]
         self.framework.timeline.record_key(view.view_id, self.name, self.sim.now)
+        if self.obs.enabled:
+            seen = self._view_seen_at.get(view.view_id, self.sim.now)
+            self.obs.span(
+                "epoch", f"rekey {self.protocol.name}", self.name,
+                self.machine.name, seen, self.sim.now,
+                epoch=str(view.view_id), members=len(view.members),
+                event=view.event.name,
+            )
+        while len(self._view_seen_at) > _CIPHER_HISTORY:
+            del self._view_seen_at[min(self._view_seen_at)]
         self.secure_views.append(view)
         if self.on_secure_view is not None:
             self.on_secure_view(self, view, self.key_bytes)
@@ -235,19 +267,34 @@ class SecureGroupMember:
 
     # -- CPU charging -----------------------------------------------------------
 
-    def _charged(self, work: Callable[[], List[ProtocolMessage]]):
+    def _charged(
+        self, work: Callable[[], List[ProtocolMessage]], label: str = "work"
+    ):
         """Run protocol work, charging its ledger delta to our machine.
 
         The results are computed eagerly (the math is exact), but the
         member's CPU timeline advances by the modelled cost, and anything
         it emits is released only when the virtual CPU work completes.
+
+        With observability enabled, the charged interval is recorded as a
+        ``crypto`` span named ``label`` and the ledger delta is bridged
+        into per-member, per-epoch operation counters.
         """
         before = self.protocol.ledger.snapshot()
         outputs = work()
         delta = self.protocol.ledger.delta_since(before)
         cost = self.framework.cost_model.time_of(delta)
+        span = None
+        if self.obs.enabled:
+            view = self.protocol.view
+            epoch = str(view.view_id) if view is not None else "?"
+            span = ("crypto", label, self.name, {"epoch": epoch})
+            record_op_counts(
+                self.obs.metrics, delta, member=self.name, epoch=epoch
+            )
         self._cpu_tail = self.machine.submit(
-            self.sim, cost, not_before=max(self._cpu_tail, self.sim.now)
+            self.sim, cost, not_before=max(self._cpu_tail, self.sim.now),
+            span=span,
         )
         return outputs
 

@@ -93,11 +93,15 @@ class SpreadClient:
 
     def _on_message(self, message: GroupMessage) -> None:
         self.received.append(message)
+        self.world.obs.counter(
+            "client.messages_delivered", client=self.name
+        ).inc()
         if self.on_message is not None:
             self.on_message(self, message)
 
     def _on_view(self, view: View) -> None:
         self.views.append(view)
+        self.world.obs.counter("client.views_delivered", client=self.name).inc()
         if self.on_view is not None:
             self.on_view(self, view)
 

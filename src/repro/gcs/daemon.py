@@ -234,6 +234,9 @@ class Daemon:
             hold = self._hold_until(smsg)
             if hold > now:
                 self.world.sim.schedule_at(hold, self._try_deliver, config_id)
+                self.world.obs.gauge(
+                    "daemon.undelivered", daemon=f"d{self.daemon_id}"
+                ).set(len(pending))
                 return
             self._delivered += 1
             del pending[smsg.seq]
@@ -248,6 +251,9 @@ class Daemon:
             seq=smsg.seq, config=smsg.config_id, kind=message.kind,
             group=message.group, sender=message.sender,
         )
+        self.world.obs.counter(
+            "daemon.delivered", daemon=f"d{self.daemon_id}", kind=message.kind
+        ).inc()
         if message.kind in ("join", "leave", "disconnect"):
             self._apply_membership(smsg)
         else:
@@ -321,6 +327,12 @@ class Daemon:
 
     def _emit_view(self, view: View, also_to: Tuple[str, ...] = ()) -> None:
         params = self.world.params
+        if self.world.obs.enabled:
+            self.world.obs.instant(
+                "gcs", f"view {view.event.name.lower()}",
+                f"d{self.daemon_id}", self.machine.name, self.world.sim.now,
+                epoch=view.view_id, members=len(view.members),
+            )
         recipients = [
             client
             for name, client in self.clients.items()
@@ -341,6 +353,12 @@ class Daemon:
         """The failure detector reports a new reachable daemon set."""
         if self.config and reachable == set(self.config.daemon_ids):
             return
+        if self.world.obs.enabled:
+            self.world.obs.instant(
+                "gcs", "reachability change", f"d{self.daemon_id}",
+                self.machine.name, self.world.sim.now,
+                reachable=sorted(reachable),
+            )
         self._frozen = True
         self._reachable = reachable
         self._accepts = {}
@@ -478,6 +496,12 @@ class Daemon:
             self.world.sim.now, "install", f"d{self.daemon_id}",
             config=config.config_id, daemons=config.daemon_ids,
         )
+        if self.world.obs.enabled:
+            self.world.obs.instant(
+                "gcs", "config install", f"d{self.daemon_id}",
+                self.machine.name, self.world.sim.now,
+                config=config.config_id, daemons=len(config.daemon_ids),
+            )
         # 4. Emit partition/merge views for groups whose membership changed.
         #    For merges, ``joined`` is *canonical*: the members outside the
         #    component of the group's oldest member — the set every key

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
 from repro.gcs.topology import Topology
+from repro.obs import NULL_OBS, Observability
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -21,11 +22,16 @@ class Network:
     """Delivers frames between registered daemons according to the topology."""
 
     def __init__(
-        self, sim: Simulator, topology: Topology, tracer: Optional[Tracer] = None
+        self,
+        sim: Simulator,
+        topology: Topology,
+        tracer: Optional[Tracer] = None,
+        obs: Optional[Observability] = None,
     ):
         self.sim = sim
         self.topology = topology
         self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs or NULL_OBS
         self._daemons: Dict[int, Any] = {}
         self._component_of: Dict[int, int] = {}
         self.frames_sent = 0
@@ -109,6 +115,10 @@ class Network:
         if not self.reachable(src_id, dst_id):
             self.frames_dropped += 1
             self.tracer.record(self.sim.now, "drop", f"d{src_id}", dst=dst_id)
+            if self.obs.enabled:
+                self.obs.counter(
+                    "net.frames_dropped", src=f"d{src_id}", dst=f"d{dst_id}"
+                ).inc()
             return None
         self.bytes_sent += size_bytes
         src = self._daemons[src_id].machine
@@ -116,4 +126,19 @@ class Network:
         latency = self.topology.one_way_ms(src, dst, size_bytes)
         latency += self.topology.params.msg_processing_ms + extra_delay_ms
         event = self.sim.schedule(latency, fn, *args)
+        if self.obs.enabled:
+            link = dict(src=f"d{src_id}", dst=f"d{dst_id}")
+            self.obs.counter("net.frames", **link).inc()
+            self.obs.counter("net.bytes", **link).inc(size_bytes)
+            self.obs.histogram("net.latency_ms", **link).observe(latency)
+            self.obs.span(
+                "net",
+                f"frame d{src_id}->d{dst_id}",
+                f"d{src_id}",
+                src.name,
+                self.sim.now,
+                event.time,
+                dst=dst_id,
+                bytes=size_bytes,
+            )
         return event.time

@@ -14,6 +14,7 @@ from repro.gcs.daemon import Config, Daemon
 from repro.gcs.network import Network
 from repro.gcs.ring import TokenRing
 from repro.gcs.topology import Topology
+from repro.obs import Observability
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -21,12 +22,20 @@ from repro.sim.trace import Tracer
 class GcsWorld:
     """A running group communication deployment on a topology."""
 
-    def __init__(self, topology: Topology, trace: bool = False) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        trace: bool = False,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.topology = topology
         self.params = topology.params
         self.sim = Simulator()
         self.tracer = Tracer(enabled=trace)
-        self.network = Network(self.sim, topology, self.tracer)
+        self.obs = obs or Observability(enabled=False)
+        for machine in topology.machines:
+            machine.obs = self.obs
+        self.network = Network(self.sim, topology, self.tracer, obs=self.obs)
         self.daemons: Dict[int, Daemon] = {}
         self.client_directory: Dict[str, Daemon] = {}
         for index, machine in enumerate(topology.machines):
@@ -108,6 +117,10 @@ class GcsWorld:
     def run_until_idle(self, max_events: int = 1_000_000) -> None:
         """Run until no events remain."""
         self.sim.run_until_idle(max_events=max_events)
+        if self.obs.enabled:
+            self.obs.gauge("sim.events_processed").set(self.sim.events_processed)
+            self.obs.gauge("sim.active_pending").set(self.sim.active_pending)
+            self.obs.gauge("sim.now_ms").set(self.sim.now)
 
     @property
     def now(self) -> float:

@@ -1,0 +1,104 @@
+"""Exporters: JSONL event dumps and Chrome trace-event JSON.
+
+The Chrome trace format (loadable in ``chrome://tracing`` and Perfetto)
+maps naturally onto the simulation: one *process* per simulated machine,
+one *thread* per member/daemon on it, complete (``"ph": "X"``) events for
+spans and instant (``"ph": "i"``) events for markers.  Virtual
+milliseconds become the format's microsecond ``ts``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.spans import Span
+
+
+def spans_to_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write one JSON object per span; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for span in spans:
+            handle.write(json.dumps({
+                "category": span.category,
+                "name": span.name,
+                "actor": span.actor,
+                "proc": span.proc,
+                "start": span.start,
+                "end": span.end,
+                "attrs": span.attrs,
+            }, sort_keys=True, default=str) + "\n")
+            count += 1
+    return count
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Convert spans to a Chrome trace-event JSON object.
+
+    Processes (``pid``) are simulated machines, threads (``tid``) are
+    actors (members/daemons); both get ``"M"`` metadata records so the
+    viewer shows their names.
+    """
+    spans = list(spans)
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        if span.proc not in pids:
+            pids[span.proc] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[span.proc],
+                "tid": 0, "ts": 0, "args": {"name": span.proc},
+            })
+        pid = pids[span.proc]
+        tkey = (span.proc, span.actor)
+        if tkey not in tids:
+            tids[tkey] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tids[tkey], "ts": 0, "args": {"name": span.actor},
+            })
+        tid = tids[tkey]
+        args = {str(k): v for k, v in span.attrs.items()}
+        common = {
+            "name": span.name, "cat": span.category, "pid": pid, "tid": tid,
+            "ts": span.start * 1000.0,  # virtual ms -> trace µs
+            "args": args,
+        }
+        if span.is_instant:
+            events.append({**common, "ph": "i", "s": "t"})
+        else:
+            events.append({**common, "ph": "X", "dur": span.duration * 1000.0})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> Dict[str, Any]:
+    """Serialize :func:`to_chrome_trace` output to ``path``; returns it."""
+    trace = to_chrome_trace(spans)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, default=str)
+    return trace
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``trace`` is well-formed.
+
+    Checks the shape the smoke CI job relies on: a ``traceEvents`` list
+    whose entries all carry ``ph``/``ts``/``pid``/``tid``/``name``, with
+    complete events additionally carrying a non-negative ``dur``.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with a traceEvents list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for index, event in enumerate(events):
+        for field in ("ph", "ts", "pid", "tid", "name"):
+            if field not in event:
+                raise ValueError(f"event {index} missing {field!r}")
+        if event["ph"] not in ("X", "i", "M"):
+            raise ValueError(f"event {index} has unknown phase {event['ph']!r}")
+        if event["ph"] == "X":
+            if "dur" not in event or event["dur"] < 0:
+                raise ValueError(f"event {index} needs a non-negative dur")

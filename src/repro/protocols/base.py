@@ -82,6 +82,11 @@ class KeyAgreementProtocol(ABC):
         self.member = member
         self.ctx = GroupElementContext(group, ledger or OperationLedger())
         self.rng = rng.fork(f"{self.name}:{member}")
+        #: optional :class:`repro.obs.Observability` recorder.  The hosting
+        #: layer attaches it; the protocol then meters every message it
+        #: emits (one counter tick per round/broadcast per member).  The
+        #: protocol math itself never reads it.
+        self.obs = None
         #: the current shared group key (an element of the group), once agreed
         self.key: Optional[int] = None
         #: the view id the current :attr:`key` belongs to
@@ -143,7 +148,7 @@ class KeyAgreementProtocol(ABC):
         requires_agreed: bool = True,
         element_count: int = 0,
     ) -> ProtocolMessage:
-        return ProtocolMessage(
+        message = ProtocolMessage(
             protocol=self.name,
             epoch=self.view.view_id,
             step=step,
@@ -155,3 +160,13 @@ class KeyAgreementProtocol(ABC):
             element_count=element_count,
             element_bits=self.group.p_bits,
         )
+        if self.obs is not None and self.obs.enabled:
+            self.obs.counter(
+                "protocol.messages",
+                protocol=self.name, member=self.member, step=step,
+                broadcast=broadcast,
+            ).inc()
+            self.obs.counter(
+                "protocol.bytes", protocol=self.name, member=self.member
+            ).inc(message.size_bytes)
+        return message

@@ -42,6 +42,11 @@ class Machine:
         self.speed = speed
         self._core_free: List[float] = [0.0] * cores
         self.total_work_ms = 0.0
+        #: optional :class:`repro.obs.Observability` flight recorder; when
+        #: attached (by :class:`~repro.gcs.world.GcsWorld`) and enabled,
+        #: every submitted work unit becomes a span on this machine's
+        #: Chrome-trace "process".
+        self.obs = None
 
     def submit(
         self,
@@ -50,6 +55,7 @@ class Machine:
         fn: Optional[Callable] = None,
         *args: Any,
         not_before: float = 0.0,
+        span: Optional[tuple] = None,
     ) -> float:
         """Queue ``work_ms`` of reference-speed CPU work on this machine.
 
@@ -57,6 +63,11 @@ class Machine:
         ``not_before`` — used to serialize a single process's tasks) and
         runs for ``work_ms / speed`` virtual milliseconds.  When ``fn`` is
         given it fires at completion.  Returns the completion time.
+
+        ``span`` is an optional ``(category, name, actor, attrs)`` tuple;
+        with an enabled recorder attached it is recorded over the work's
+        actual busy interval (queueing delay excluded), which is what the
+        per-epoch report counts as "computation".
         """
         if work_ms < 0:
             raise ValueError("work_ms must be non-negative")
@@ -66,6 +77,13 @@ class Machine:
         finish = start + duration
         self._core_free[index] = finish
         self.total_work_ms += duration
+        if span is not None and self.obs is not None and self.obs.enabled:
+            category, span_name, actor, attrs = span
+            self.obs.span(
+                category, span_name, actor, self.name, start, finish,
+                **(attrs or {}),
+            )
+            self.obs.counter("cpu.work_ms", machine=self.name).inc(duration)
         if fn is not None:
             sim.schedule_at(finish, fn, *args)
         return finish

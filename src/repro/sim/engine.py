@@ -15,7 +15,7 @@ from typing import Any, Callable, List, Optional, Tuple
 class Event:
     """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_owner")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
         self.time = time
@@ -23,10 +23,15 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._owner: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -39,11 +44,16 @@ class Event:
 class Simulator:
     """Discrete-event simulator with a millisecond virtual clock."""
 
+    #: lazy heap compaction: rebuild once this many cancelled events sit in
+    #: the heap *and* they outnumber the live ones.
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_heap = 0
 
     @property
     def events_processed(self) -> int:
@@ -54,6 +64,31 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def active_pending(self) -> int:
+        """Number of queued events that will actually fire.
+
+        ``pending`` counts heap entries, including events cancelled but not
+        yet popped; this is the honest queue depth for tests, benchmarks
+        and the observability gauges.
+        """
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        """An owned, still-queued event was cancelled (called by Event)."""
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= self._COMPACT_MIN
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (lazy heap compaction)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ms from now."""
@@ -66,6 +101,7 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} (now is {self.now})")
         event = Event(time, next(self._seq), fn, args)
+        event._owner = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -73,7 +109,9 @@ class Simulator:
         """Fire the next non-cancelled event.  Returns False when idle."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._owner = None  # out of the heap; cancel() is a no-op now
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self.now = event.time
             self._events_processed += 1
@@ -98,6 +136,8 @@ class Simulator:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                head._owner = None
+                self._cancelled_in_heap -= 1
                 continue
             if until is not None and head.time > until:
                 break

@@ -2,13 +2,24 @@
 
 Tests assert on traces (e.g. "all daemons delivered the same sequence of
 agreed messages"), and benchmark debugging uses them to decompose elapsed
-time into membership, communication and computation.
+time into membership, communication and computation.  (For hierarchical,
+exporter-backed tracing see :mod:`repro.obs` — this module is the flat
+event log the GCS layer feeds.)
+
+The tracer is *bounded*: long benchmark runs used to grow ``events``
+without limit; now, once ``capacity`` events are held, further records are
+counted in :attr:`Tracer.dropped` instead of stored.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
+
+#: Default event capacity: ample for every shipped test and benchmark,
+#: bounded so an unattended run cannot exhaust memory.
+DEFAULT_CAPACITY = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -24,14 +35,23 @@ class TraceEvent:
 class Tracer:
     """Collects :class:`TraceEvent` records; cheap no-op when disabled."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
         self.enabled = enabled
+        self.capacity = capacity
         self.events: List[TraceEvent] = []
+        #: events discarded because the capacity was reached
+        self.dropped = 0
 
     def record(self, time: float, category: str, actor: str, **detail: Any) -> None:
-        """Append one trace event (no-op when disabled)."""
-        if self.enabled:
-            self.events.append(TraceEvent(time, category, actor, detail))
+        """Append one trace event (no-op when disabled, counted when full)."""
+        if not self.enabled:
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, category, actor, detail))
 
     def filter(
         self,
@@ -49,6 +69,21 @@ class Tracer:
             selected = [e for e in selected if predicate(e)]
         return selected
 
+    def to_jsonl(self, path: str) -> int:
+        """Write one JSON object per event; returns the number written."""
+        count = 0
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps({
+                    "time": event.time,
+                    "category": event.category,
+                    "actor": event.actor,
+                    "detail": event.detail,
+                }, sort_keys=True, default=str) + "\n")
+                count += 1
+        return count
+
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events and reset the drop counter."""
         self.events.clear()
+        self.dropped = 0

@@ -1,10 +1,12 @@
 """Tests for the benchmark CLI (`python -m repro.bench`)."""
 
+import json
 import os
 
 import pytest
 
 from repro.bench.cli import FIGURES, build_parser, main
+from repro.obs import validate_chrome_trace
 
 
 def test_table_mode(capsys):
@@ -39,6 +41,44 @@ def test_requires_a_target():
 def test_rejects_unknown_figure():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--figure", "99"])
+
+
+def test_trace_subcommand_emits_valid_chrome_trace(capsys, tmp_path):
+    out_path = str(tmp_path / "trace.json")
+    jsonl_path = str(tmp_path / "events.jsonl")
+    code = main([
+        "trace", "--protocol", "TGDH", "--size", "4", "--event", "join",
+        "-o", out_path, "--jsonl", jsonl_path,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace events" in out and "Perfetto" in out
+    trace = json.load(open(out_path))
+    validate_chrome_trace(trace)
+    phases = {e["ph"] for e in trace["traceEvents"]}
+    assert "X" in phases and "M" in phases
+    assert all(
+        "ts" in e and "pid" in e for e in trace["traceEvents"]
+    )
+    assert os.path.exists(jsonl_path)
+    first = json.loads(open(jsonl_path).readline())
+    assert "category" in first
+
+
+def test_report_subcommand_prints_reconciled_phases(capsys):
+    code = main([
+        "report", "--protocol", "STR", "--size", "4", "--event", "leave",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "membship" in out and "comms" in out and "comput" in out
+    assert "NO" not in out  # every epoch reconciles
+    assert "worst |phases - timeline|" in out
+
+
+def test_subcommand_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        main(["trace", "--protocol", "NOPE"])
 
 
 def test_every_registered_figure_is_well_formed():

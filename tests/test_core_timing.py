@@ -53,3 +53,61 @@ def test_unmarked_event_raises():
     record.view_delivered["a"] = 1.0
     with pytest.raises(ValueError):
         record.membership_elapsed()
+
+
+def test_latest_complete_with_zero_epochs():
+    with pytest.raises(LookupError):
+        RekeyTimeline().latest_complete()
+
+
+def test_latest_complete_with_only_partial_epochs():
+    timeline = RekeyTimeline()
+    timeline.mark_event(0.0)
+    timeline.record_view((1, 1), "a", 1.0, ("a", "b"))
+    timeline.record_view((1, 1), "b", 1.5, ("a", "b"))
+    # neither member ever reports its key
+    with pytest.raises(LookupError):
+        timeline.latest_complete()
+
+
+def test_key_recorded_before_view():
+    """A key report may race ahead of the view report for another member;
+    the epoch record must survive the inverted arrival order."""
+    timeline = RekeyTimeline()
+    timeline.mark_event(0.0)
+    timeline.record_key((1, 1), "a", 9.0)  # before any record_view
+    timeline.record_view((1, 1), "a", 2.0, ("a",))
+    record = timeline.latest_complete()
+    assert record.event_started_at == 0.0
+    assert record.total_elapsed() == pytest.approx(9.0)
+    assert record.membership_elapsed() == pytest.approx(2.0)
+    assert record.key_agreement_elapsed() == pytest.approx(7.0)
+
+
+def test_key_agreement_elapsed_reconciles_with_span_breakdown():
+    """The span-based decomposition must split ``key_agreement_elapsed``
+    exactly into communication + computation."""
+    from repro.obs import epoch_breakdown
+    from repro.obs.spans import SpanRecorder
+
+    timeline = RekeyTimeline()
+    timeline.mark_event(100.0)
+    timeline.record_view((1, 1), "a", 102.0, ("a", "b"))
+    timeline.record_view((1, 1), "b", 103.0, ("a", "b"))
+    timeline.record_key((1, 1), "a", 110.0)
+    timeline.record_key((1, 1), "b", 112.0)
+    record = timeline.latest_complete()
+    spans = SpanRecorder()
+    # b (the last finisher) computes during [104, 107] U [109, 111]
+    spans.record("crypto", "w1", "b", "p0", 104.0, 107.0)
+    spans.record("crypto", "w2", "b", "p0", 109.0, 111.0)
+    spans.record("crypto", "other", "a", "p0", 103.0, 111.0)  # not b's
+    phases = epoch_breakdown(record, spans)
+    assert phases.last_member == "b"
+    assert phases.computation_ms == pytest.approx(5.0)
+    assert phases.communication_ms == pytest.approx(
+        record.key_agreement_elapsed() - 5.0
+    )
+    assert phases.phase_sum() == pytest.approx(
+        record.total_elapsed(), abs=1e-12
+    )

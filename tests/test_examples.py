@@ -17,6 +17,7 @@ EXAMPLES = [
     "partition_healing",
     "replicated_whiteboard",
     "secure_conference_wan",
+    "trace_rekey",
 ]
 
 

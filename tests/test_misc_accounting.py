@@ -18,10 +18,16 @@ def test_machine_utilization_horizon():
 def test_simulator_pending_counter():
     sim = Simulator()
     sim.schedule(5, lambda: None)
-    sim.schedule(6, lambda: None)
+    cancelled = sim.schedule(6, lambda: None)
     assert sim.pending == 2
+    cancelled.cancel()
+    # active_pending is the honest queue depth: it excludes cancelled
+    # events that still sit in the heap.
+    assert sim.pending == 2
+    assert sim.active_pending == 1
     sim.run_until_idle()
     assert sim.pending == 0
+    assert sim.active_pending == 0
 
 
 def test_network_counts_drops_across_partition():

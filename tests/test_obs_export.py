@@ -1,0 +1,97 @@
+"""Tests for the JSONL and Chrome trace-event exporters."""
+
+import json
+
+import pytest
+
+from repro.core.framework import SecureSpreadFramework
+from repro.gcs.topology import lan_testbed
+from repro.obs import (
+    Observability,
+    spans_to_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.spans import Span
+
+
+def _spans():
+    return [
+        Span("crypto", "TGDH.start", "m0", "lan0", 1.0, 3.0, {"epoch": "e"}),
+        Span("net", "frame d0->d1", "d0", "lan0", 2.0, 4.5, {"bytes": 96}),
+        Span("membership", "event", "world", "world", 0.5, 0.5, {}),
+    ]
+
+
+def test_spans_to_jsonl_round_trips(tmp_path):
+    path = str(tmp_path / "spans.jsonl")
+    count = spans_to_jsonl(_spans(), path)
+    assert count == 3
+    rows = [json.loads(line) for line in open(path)]
+    assert rows[0]["name"] == "TGDH.start"
+    assert rows[1]["attrs"] == {"bytes": 96}
+    assert rows[2]["start"] == rows[2]["end"] == 0.5
+
+
+def test_chrome_trace_shape():
+    trace = to_chrome_trace(_spans())
+    validate_chrome_trace(trace)  # must not raise
+    events = trace["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == 2 and len(instants) == 1
+    # one process per machine (lan0, world), one thread per actor
+    names = {e["args"]["name"] for e in metadata if e["name"] == "process_name"}
+    assert names == {"lan0", "world"}
+    # virtual ms -> microsecond timestamps
+    span_event = next(e for e in complete if e["name"] == "TGDH.start")
+    assert span_event["ts"] == 1000.0
+    assert span_event["dur"] == 2000.0
+    assert span_event["cat"] == "crypto"
+
+
+def test_validate_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"nope": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"ph": "X", "ts": 0}]})
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {"traceEvents": [
+                {"ph": "X", "ts": 0, "pid": 1, "tid": 1, "name": "a"}
+            ]}
+        )  # complete event without dur
+
+
+def test_observability_jsonl_includes_metrics(tmp_path):
+    obs = Observability(enabled=True)
+    obs.span("crypto", "w", "m0", "p0", 0.0, 1.0)
+    obs.counter("net.frames", src="d0", dst="d1").inc(4)
+    path = str(tmp_path / "dump.jsonl")
+    lines = obs.to_jsonl(path)
+    rows = [json.loads(line) for line in open(path)]
+    assert lines == len(rows) == 2
+    assert rows[0]["category"] == "crypto"
+    assert rows[1]["metric"]["name"] == "net.frames"
+    assert rows[1]["metric"]["value"] == 4
+
+
+def test_full_stack_trace_is_valid_chrome_json(tmp_path):
+    """A real (small) simulated rekey exports a loadable trace."""
+    framework = SecureSpreadFramework(
+        lan_testbed(), default_protocol="TGDH", observe=True
+    )
+    for i in range(3):
+        member = framework.member(f"m{i}", i)
+        member.join()
+        framework.run_until_idle()
+    path = str(tmp_path / "trace.json")
+    trace = framework.obs.write_chrome_trace(path)
+    validate_chrome_trace(trace)
+    reloaded = json.load(open(path))
+    validate_chrome_trace(reloaded)
+    cats = {e.get("cat") for e in reloaded["traceEvents"] if e["ph"] == "X"}
+    assert "crypto" in cats and "net" in cats and "epoch" in cats

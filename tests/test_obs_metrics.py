@@ -1,0 +1,93 @@
+"""Tests for the metrics registry and the ledger bridge."""
+
+import pytest
+
+from repro.crypto.ledger import OperationLedger
+from repro.obs.metrics import MetricsRegistry, record_op_counts
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    reg.counter("net.frames", src="d0", dst="d1").inc()
+    reg.counter("net.frames", dst="d1", src="d0").inc(2)  # label order-free
+    assert reg.counter("net.frames", src="d0", dst="d1").value == 3
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("x").inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue", daemon="d0")
+    g.set(5)
+    g.inc()
+    g.dec(3)
+    assert g.value == 3
+
+
+def test_histogram_summary_stats():
+    reg = MetricsRegistry()
+    h = reg.histogram("latency")
+    for v in (1.0, 3.0, 2.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.min == 1.0 and h.max == 3.0
+    assert h.mean == pytest.approx(2.0)
+
+
+def test_disabled_registry_hands_out_noops():
+    reg = MetricsRegistry(enabled=False)
+    reg.counter("x").inc()
+    reg.gauge("y").set(9)
+    reg.histogram("z").observe(1.0)
+    assert reg.snapshot() == []
+
+
+def test_counter_total_aggregates_over_labels():
+    reg = MetricsRegistry()
+    reg.counter("net.bytes", src="d0", dst="d1").inc(10)
+    reg.counter("net.bytes", src="d0", dst="d2").inc(5)
+    reg.counter("net.bytes", src="d1", dst="d0").inc(1)
+    assert reg.counter_total("net.bytes") == 16
+    assert reg.counter_total("net.bytes", src="d0") == 15
+
+
+def test_snapshot_is_json_ready():
+    reg = MetricsRegistry()
+    reg.counter("a", k="v").inc()
+    reg.gauge("b").set(2)
+    reg.histogram("c").observe(1.5)
+    rows = reg.snapshot()
+    kinds = [row["kind"] for row in rows]
+    assert kinds == ["counter", "gauge", "histogram"]
+    assert rows[0]["labels"] == {"k": "v"}
+    assert rows[2]["mean"] == 1.5
+
+
+def test_ledger_bridge_labels_by_modulus_bits():
+    ledger = OperationLedger()
+    ledger.record_exponentiation(512, 4)
+    ledger.record_exponentiation(1024, 2)
+    ledger.record_small_exponentiation(512, 5)  # 2 squarings + 1 multiply
+    ledger.record_multiplication(512, 7)
+    ledger.record_signature(3)
+    ledger.record_verification(1)
+    reg = MetricsRegistry()
+    record_op_counts(reg, ledger.snapshot(), member="m0", epoch="e1")
+    assert reg.counter_total("crypto.exponentiations", member="m0") == 6
+    assert reg.counter_total("crypto.exponentiations", bits=1024) == 2
+    assert reg.counter_total("crypto.small_exp_multiplications") == 3
+    assert reg.counter_total("crypto.multiplications") == 7
+    assert reg.counter_total("crypto.signatures", epoch="e1") == 3
+    assert reg.counter_total("crypto.verifications") == 1
+
+
+def test_ledger_bridge_noop_when_disabled():
+    ledger = OperationLedger()
+    ledger.record_signature()
+    reg = MetricsRegistry(enabled=False)
+    record_op_counts(reg, ledger.snapshot(), member="m0")
+    assert reg.snapshot() == []

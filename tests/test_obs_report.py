@@ -1,0 +1,123 @@
+"""Acceptance tests: span-based per-epoch attribution reconciles exactly.
+
+The paper's §6 decomposes total rekey latency into membership,
+communication and computation.  These tests assert the span-based report
+reproduces ``RekeyTimeline`` totals to 1e-6 ms, and that observability is
+passive — the timing numbers with it enabled are bit-identical to the
+seed's (golden) values.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_event
+from repro.core.framework import SecureSpreadFramework
+from repro.gcs.topology import lan_testbed, wan_testbed
+from repro.obs import epoch_breakdown, render_report, timeline_breakdowns
+
+
+def _observed_join(protocol, testbed, size=6):
+    framework = SecureSpreadFramework(
+        testbed(), default_protocol=protocol, observe=True
+    )
+    for i in range(size):
+        member = framework.member(f"m{i}", i % len(framework.world.topology.machines))
+        member.join()
+        framework.run_until_idle()
+    framework.mark_event()
+    joiner = framework.member("x1", size % len(framework.world.topology.machines))
+    joiner.join()
+    framework.run_until_idle()
+    return framework
+
+
+@pytest.mark.parametrize("protocol", ["TGDH", "BD", "GDH", "STR", "CKD"])
+def test_phases_sum_to_timeline_total_lan(protocol):
+    framework = _observed_join(protocol, lan_testbed)
+    record = framework.timeline.latest_complete()
+    phases = epoch_breakdown(record, framework.obs.spans)
+    assert phases.phase_sum() == pytest.approx(
+        record.total_elapsed(), abs=1e-6
+    )
+    assert phases.membership_ms == pytest.approx(
+        record.membership_elapsed(), abs=1e-9
+    )
+    assert phases.communication_ms >= 0
+    assert phases.computation_ms >= 0
+    assert phases.reconciles()
+
+
+def test_phases_sum_to_timeline_total_wan():
+    framework = _observed_join("TGDH", wan_testbed)
+    record = framework.timeline.latest_complete()
+    phases = epoch_breakdown(record, framework.obs.spans)
+    assert phases.reconciles(tolerance=1e-6)
+    # On the WAN, communication dominates computation (paper §6.2.2).
+    assert phases.communication_ms > phases.computation_ms
+
+
+def test_bd_is_computation_heavy_on_lan():
+    """BD serializes many exponentiations; on a LAN the computation phase
+    dominates communication (the effect behind the paper's Fig. 11)."""
+    framework = _observed_join("BD", lan_testbed)
+    record = framework.timeline.latest_complete()
+    phases = epoch_breakdown(record, framework.obs.spans)
+    assert phases.computation_ms > phases.communication_ms
+
+
+def test_timeline_breakdowns_skips_unmarked_epochs():
+    framework = _observed_join("TGDH", lan_testbed)
+    breakdowns = timeline_breakdowns(framework.timeline, framework.obs.spans)
+    # growth-phase epochs were never event-marked: only the measured join
+    assert len(breakdowns) == 1
+    assert breakdowns[0].reconciles()
+
+
+def test_render_report_reconciles_and_names_phases():
+    framework = _observed_join("TGDH", lan_testbed)
+    text = render_report(framework.timeline, framework.obs.spans)
+    assert "membship" in text and "comms" in text and "comput" in text
+    assert " yes " in text or text.rstrip().endswith("ms")
+    assert "NO" not in text
+
+
+@pytest.mark.parametrize("event", ["join", "leave"])
+def test_measure_event_breakdown_fields(event):
+    measurement = measure_event(
+        lan_testbed, "TGDH", 5, event, repeats=1, breakdown=True
+    )
+    assert measurement.communication_ms is not None
+    assert measurement.computation_ms is not None
+    phase_sum = (
+        measurement.membership_ms
+        + measurement.communication_ms
+        + measurement.computation_ms
+    )
+    assert phase_sum == pytest.approx(measurement.total_ms, abs=1e-6)
+
+
+def test_measure_event_without_breakdown_leaves_fields_none():
+    measurement = measure_event(lan_testbed, "TGDH", 4, "join", repeats=1)
+    assert measurement.communication_ms is None
+    assert measurement.computation_ms is None
+
+
+def test_observability_is_passive_bit_identical_timings():
+    """Enabling the flight recorder must not move any measured time."""
+    plain = measure_event(lan_testbed, "BD", 5, "join", repeats=1, seed=0)
+    observed = measure_event(
+        lan_testbed, "BD", 5, "join", repeats=1, seed=0, breakdown=True
+    )
+    assert observed.total_ms == plain.total_ms  # exact, not approx
+    assert observed.membership_ms == plain.membership_ms
+
+
+def test_ckd_weighted_leave_breakdown_reconciles():
+    measurement = measure_event(
+        lan_testbed, "CKD", 5, "leave", repeats=1, breakdown=True
+    )
+    phase_sum = (
+        measurement.membership_ms
+        + measurement.communication_ms
+        + measurement.computation_ms
+    )
+    assert phase_sum == pytest.approx(measurement.total_ms, abs=1e-6)

@@ -116,6 +116,48 @@ def test_events_processed_counter():
     assert sim.events_processed == 4
 
 
+def test_active_pending_excludes_cancelled_events():
+    sim = Simulator()
+    keep = sim.schedule(10, lambda: None)
+    doomed = sim.schedule(20, lambda: None)
+    assert sim.pending == 2
+    assert sim.active_pending == 2
+    doomed.cancel()
+    assert sim.pending == 2  # heap entry still present
+    assert sim.active_pending == 1
+    doomed.cancel()  # idempotent: no double count
+    assert sim.active_pending == 1
+    sim.run_until_idle()
+    assert sim.pending == 0 and sim.active_pending == 0
+    keep.cancel()  # already fired: must not corrupt the counter
+    assert sim.active_pending == 0
+
+
+def test_cancelled_head_popped_by_run_keeps_count():
+    sim = Simulator()
+    early = sim.schedule(1, lambda: None)
+    sim.schedule(50, lambda: None)
+    early.cancel()
+    sim.run(until=10)  # pops the cancelled head without firing it
+    assert sim.active_pending == 1
+    assert sim.pending == 1
+
+
+def test_lazy_compaction_shrinks_the_heap():
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    # well past the compaction threshold: cancelled entries were purged
+    assert sim.pending < 200
+    assert sim.active_pending == 50
+    fired = []
+    sim.schedule(500, fired.append, "last")
+    sim.run_until_idle()
+    assert fired == ["last"]
+    assert sim.events_processed == 51
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
 def test_delivery_order_is_sorted_for_any_delays(delays):
     sim = Simulator()

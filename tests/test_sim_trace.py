@@ -1,5 +1,9 @@
 """Tests for the structured tracer."""
 
+import json
+
+import pytest
+
 from repro.sim.trace import Tracer
 
 
@@ -32,3 +36,43 @@ def test_clear():
     tracer.record(1.0, "send", "d0")
     tracer.clear()
     assert tracer.events == []
+
+
+def test_capacity_bound_counts_drops():
+    tracer = Tracer(capacity=3)
+    for i in range(10):
+        tracer.record(float(i), "send", "d0", n=i)
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 7
+    # the earliest events are the ones kept
+    assert [e.time for e in tracer.events] == [0.0, 1.0, 2.0]
+
+
+def test_clear_resets_drop_counter():
+    tracer = Tracer(capacity=1)
+    tracer.record(1.0, "send", "d0")
+    tracer.record(2.0, "send", "d0")
+    assert tracer.dropped == 1
+    tracer.clear()
+    assert tracer.dropped == 0
+    tracer.record(3.0, "send", "d0")
+    assert len(tracer.events) == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_to_jsonl_round_trips(tmp_path):
+    tracer = Tracer()
+    tracer.record(1.0, "send", "d0", size=10)
+    tracer.record(2.5, "deliver", "d1", group="g", seq=4)
+    path = str(tmp_path / "trace.jsonl")
+    assert tracer.to_jsonl(path) == 2
+    rows = [json.loads(line) for line in open(path)]
+    assert rows[0] == {
+        "time": 1.0, "category": "send", "actor": "d0",
+        "detail": {"size": 10},
+    }
+    assert rows[1]["detail"] == {"group": "g", "seq": 4}
