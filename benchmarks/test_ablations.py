@@ -138,8 +138,10 @@ def test_key_confirmation_overhead(benchmark):
     from repro.protocols.tgdh import TgdhProtocol
 
     class ConfirmingTgdh(TgdhProtocol):
-        def __init__(self, member, group, rng, ledger=None):
-            super().__init__(member, group, rng, ledger, key_confirmation=True)
+        def __init__(self, member, group, rng, ledger=None, engine=None):
+            super().__init__(
+                member, group, rng, ledger, engine=engine, key_confirmation=True
+            )
 
     ConfirmingTgdh.name = "TGDH"
 

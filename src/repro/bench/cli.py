@@ -9,6 +9,8 @@ Examples::
     python -m repro.bench trace --protocol TGDH --size 16 --event join \
         -o trace.json                            # Chrome/Perfetto trace
     python -m repro.bench report --protocol BD --size 13 --event leave
+    python -m repro.bench scale                  # join/leave up to n=1024
+    python -m repro.bench scale --sizes 32 128 512 --protocols TGDH STR
 """
 
 from __future__ import annotations
@@ -22,20 +24,22 @@ from repro.analysis.table1 import render_table1
 from repro.bench.harness import _fresh_framework, grow_group
 from repro.bench.plot import render_plot
 from repro.bench.report import render_series, series_to_csv
+from repro.bench.scale import (
+    SCALE_SIZES,
+    render_scale_table,
+    run_scale,
+    write_scale_json,
+)
 from repro.bench.series import DEFAULT_SIZES, sweep_group_sizes
-from repro.gcs.topology import lan_testbed, medium_wan_testbed, wan_testbed
+from repro.gcs.topology import TESTBEDS, lan_testbed, medium_wan_testbed, wan_testbed
 from repro.obs import render_report, validate_chrome_trace
 
 PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
 
-TOPOLOGIES = {
-    "lan": lan_testbed,
-    "wan": wan_testbed,
-    "medium-wan": medium_wan_testbed,
-}
+TOPOLOGIES = TESTBEDS
 
-#: Observability subcommands (everything else is the legacy flag interface).
-SUBCOMMANDS = ("trace", "report")
+#: Subcommands (everything else is the legacy flag interface).
+SUBCOMMANDS = ("trace", "report", "scale")
 
 #: figure number -> list of (title, testbed factory, event, dh group)
 FIGURES = {
@@ -150,6 +154,72 @@ def build_obs_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_scale_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench scale",
+        description="Measure join/leave total elapsed time at large group "
+        "sizes (batched growth; symbolic crypto engine by default, whose "
+        "simulated times match the real engine's by construction).",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(SCALE_SIZES),
+        help="group sizes to sample (default: 32..1024, powers of two)",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+", default=list(PROTOCOLS),
+        choices=PROTOCOLS, help="protocols to include",
+    )
+    parser.add_argument(
+        "--engine", choices=("real", "symbolic"), default="symbolic",
+        help="crypto engine (default symbolic; identical simulated times)",
+    )
+    parser.add_argument(
+        "--topology", choices=sorted(TOPOLOGIES), default="lan",
+        help="testbed to simulate (default lan)",
+    )
+    parser.add_argument(
+        "--dh-group", default="dh-512", help="DH group (default dh-512)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="events averaged per size"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "-o", "--output", default="BENCH_scale.json",
+        help="JSON output path (default BENCH_scale.json)",
+    )
+    return parser
+
+
+def run_scale_command(argv: Sequence[str]) -> int:
+    args = build_scale_parser().parse_args(argv)
+    measurements = run_scale(
+        protocols=args.protocols,
+        sizes=args.sizes,
+        topology=args.topology,
+        dh_group=args.dh_group,
+        engine=args.engine,
+        repeats=args.repeats,
+        seed=args.seed,
+        progress=lambda line: print(f"  {line}", flush=True),
+    )
+    write_scale_json(
+        args.output,
+        measurements,
+        sizes=sorted(set(args.sizes)),
+        protocols=list(args.protocols),
+        engine=args.engine,
+        topology=args.topology,
+        dh_group=args.dh_group,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print()
+    print(render_scale_table(measurements))
+    print(f"\nwrote {args.output}: {len(measurements)} measurements")
+    return 0
+
+
 def _run_observed_event(args):
     """Grow a group, run one observed membership event, return the framework."""
     framework = _fresh_framework(
@@ -172,6 +242,8 @@ def _run_observed_event(args):
 
 
 def run_subcommand(argv: Sequence[str]) -> int:
+    if argv[0] == "scale":
+        return run_scale_command(argv[1:])
     args = build_obs_parser().parse_args(argv)
     framework = _run_observed_event(args)
     title = (

@@ -7,16 +7,78 @@ membership event to the moment the last member is notified of the new key
 — averaged over several events, with the per-protocol conventions the
 paper describes in §6.1.2 (CKD's controller-leave weighting, STR's
 middle-member leave, TGDH measured on the tree its own heuristic builds).
+
+An experiment cell is described by an :class:`ExperimentSpec` and run with
+:func:`run_experiment`; :func:`measure_event` remains as a thin
+backward-compatible wrapper over the old positional surface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, fields
+from typing import Callable, List, Optional, Union
 
 from repro.core.framework import SecureSpreadFramework
-from repro.gcs.topology import Topology
+from repro.crypto.engine import CryptoEngine, get_engine
+from repro.gcs.messages import View, ViewEvent
+from repro.gcs.topology import TESTBEDS, Topology
 from repro.obs.report import epoch_breakdown
+
+#: event budget for large-n runs (the simulator default is sized for the
+#: paper's n ≤ 50 sweeps; a 1000-member rekey legitimately needs millions
+#: of deliveries).
+LARGE_RUN_MAX_EVENTS = 50_000_000
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything that defines one experiment cell.
+
+    ``topology`` is a testbed name (``"lan"``, ``"wan"``,
+    ``"medium-wan"``) or a zero-argument factory returning a
+    :class:`~repro.gcs.topology.Topology`.  ``engine`` is a crypto engine
+    spec (``None``/``"real"``/``"symbolic"`` or an instance, see
+    :func:`repro.crypto.engine.get_engine`).
+    """
+
+    protocol: str
+    event: str
+    group_size: int
+    dh_group: str = "dh-512"
+    topology: Union[str, Callable[[], Topology]] = "lan"
+    repeats: int = 2
+    seed: int = 0
+    breakdown: bool = False
+    engine: Union[None, str, CryptoEngine] = None
+
+    def __post_init__(self):
+        if self.event not in ("join", "leave"):
+            raise ValueError("event must be 'join' or 'leave'")
+        if self.group_size < 1:
+            raise ValueError("group_size must be at least 1")
+        if self.repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        if isinstance(self.topology, str) and self.topology not in TESTBEDS:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; "
+                f"choose from {sorted(TESTBEDS)} or pass a factory"
+            )
+
+    def topology_factory(self) -> Callable[[], Topology]:
+        if callable(self.topology):
+            return self.topology
+        return TESTBEDS[self.topology]
+
+    def build_framework(self, observe: Optional[bool] = None) -> SecureSpreadFramework:
+        """A fresh framework configured for this cell."""
+        return SecureSpreadFramework(
+            self.topology_factory()(),
+            default_protocol=self.protocol,
+            dh_group=self.dh_group,
+            seed=self.seed,
+            observe=self.breakdown if observe is None else observe,
+            engine=self.engine,
+        )
 
 
 @dataclass
@@ -40,10 +102,24 @@ class EventMeasurement:
     samples: int
     communication_ms: Optional[float] = None
     computation_ms: Optional[float] = None
+    engine: str = "real"
 
     @property
     def key_agreement_ms(self) -> float:
         return self.total_ms - self.membership_ms
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict — the single serialization for all outputs."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventMeasurement":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        known = {field.name for field in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 def _fresh_framework(
@@ -52,6 +128,7 @@ def _fresh_framework(
     dh_group: str,
     seed: int,
     observe: bool = False,
+    engine=None,
 ) -> SecureSpreadFramework:
     return SecureSpreadFramework(
         topology_factory(),
@@ -59,6 +136,7 @@ def _fresh_framework(
         dh_group=dh_group,
         seed=seed,
         observe=observe,
+        engine=engine,
     )
 
 
@@ -76,6 +154,144 @@ def grow_group(
     return members
 
 
+def grow_group_batched(
+    framework: SecureSpreadFramework,
+    size: int,
+    start: int = 0,
+    prefix: str = "m",
+    existing: Optional[List] = None,
+    group_name: str = "secure-group",
+    max_events: int = LARGE_RUN_MAX_EVENTS,
+) -> List:
+    """Grow the group to ``size`` members with a *single* rekey.
+
+    :func:`grow_group` re-runs a full key agreement after every join —
+    O(n²) event churn that dominates large-n setup.  Here every member
+    defers rekeying while all joins flow through the membership service,
+    then one synthetic merge view (newcomers = everything beyond the
+    settled base) drives a single agreement over the final membership.
+    The resulting membership view is asserted identical to what
+    sequential growth settles on.
+
+    ``existing`` is the list of members already in the group (defaults to
+    every member created for ``group_name``); returns the new members,
+    like :func:`grow_group`.
+    """
+    if existing is None:
+        existing = framework.members_of(group_name)
+    base_names = {member.name for member in existing}
+    machines = len(framework.world.topology.machines)
+    joiners = [
+        framework.member(f"{prefix}{index}", index % machines, group_name)
+        for index in range(start, size)
+    ]
+    if not joiners:
+        return []
+    everyone = list(existing) + joiners
+    for member in everyone:
+        member.defer_rekey = True
+    for member in joiners:
+        member.join()
+    framework.run_until_idle(max_events=max_events)
+    final = max(
+        (m._deferred_view for m in everyone if m._deferred_view is not None),
+        key=lambda view: view.view_id,
+        default=None,
+    )
+    expected = base_names | {member.name for member in joiners}
+    if final is None or set(final.members) != expected:
+        raise AssertionError(
+            "batched growth did not settle on the expected membership"
+        )
+    joined = tuple(name for name in final.members if name not in base_names)
+    rekey_view = View(
+        view_id=final.view_id,
+        group=final.group,
+        members=final.members,
+        event=ViewEvent.MERGE if len(joined) > 1 else ViewEvent.JOIN,
+        joined=joined,
+        left=(),
+    )
+    for member in everyone:
+        member.defer_rekey = False
+        member._deferred_view = None
+    for member in everyone:
+        member.flush_deferred(rekey_view)
+    framework.run_until_idle(max_events=max_events)
+    for member in everyone:
+        view = member.protocol.view
+        if view is None or view.members != final.members:
+            raise AssertionError(
+                f"{member.name} settled on a different membership view"
+            )
+        if not member.protocol.done_for(view):
+            raise AssertionError(f"{member.name} did not key the grown group")
+    return joiners
+
+
+def run_experiment(spec: ExperimentSpec) -> EventMeasurement:
+    """Average elapsed time for one :class:`ExperimentSpec` cell.
+
+    Each repeat performs the event on a settled group of exactly
+    ``spec.group_size`` members and restores the size afterwards.
+
+    With ``breakdown=True`` the framework runs with observability enabled
+    and the measurement also carries the averaged span-based
+    communication/computation attribution (the paper's §6 decomposition).
+    Observability is passive, so the timing numbers are identical either
+    way.
+    """
+    framework = spec.build_framework()
+    members = grow_group(framework, spec.group_size)
+    totals: List[float] = []
+    memberships: List[float] = []
+    comms: List[float] = []
+    computs: List[float] = []
+    extra_index = 0
+    for repeat in range(spec.repeats):
+        if spec.event == "join":
+            extra_index += 1
+            joiner = framework.member(
+                f"x{extra_index}",
+                (spec.group_size + extra_index)
+                % len(framework.world.topology.machines),
+            )
+            framework.mark_event()
+            joiner.join()
+            framework.run_until_idle()
+            record = framework.timeline.latest_complete()
+            totals.append(record.total_elapsed())
+            memberships.append(record.membership_elapsed())
+            if spec.breakdown:
+                phases = epoch_breakdown(record, framework.obs.spans)
+                comms.append(phases.communication_ms)
+                computs.append(phases.computation_ms)
+            joiner.leave()  # restore the size (unmeasured)
+            framework.run_until_idle()
+        else:
+            total, membership, comm, comput = _measure_leave(
+                framework, members, spec.protocol
+            )
+            totals.append(total)
+            memberships.append(membership)
+            if spec.breakdown:
+                comms.append(comm)
+                computs.append(comput)
+    return EventMeasurement(
+        protocol=spec.protocol,
+        event=spec.event,
+        group_size=spec.group_size,
+        dh_group=spec.dh_group,
+        topology=framework.world.topology.name,
+        total_ms=sum(totals) / len(totals),
+        membership_ms=sum(memberships) / len(memberships),
+        samples=spec.repeats,
+        communication_ms=sum(comms) / len(comms) if comms else None,
+        computation_ms=sum(computs) / len(computs) if computs else None,
+        engine=framework.engine.name,
+    )
+
+
 def measure_event(
     topology_factory: Callable[[], Topology],
     protocol: str,
@@ -85,69 +301,22 @@ def measure_event(
     repeats: int = 2,
     seed: int = 0,
     breakdown: bool = False,
+    engine=None,
 ) -> EventMeasurement:
-    """Average elapsed time for ``event`` at ``group_size`` members.
-
-    ``event`` is ``"join"`` or ``"leave"`` (the two events the paper
-    measures); each repeat performs the event on a settled group of
-    exactly ``group_size`` members and restores the size afterwards.
-
-    With ``breakdown=True`` the framework runs with observability enabled
-    and the measurement also carries the averaged span-based
-    communication/computation attribution (the paper's §6 decomposition).
-    Observability is passive, so the timing numbers are identical either
-    way.
-    """
-    if event not in ("join", "leave"):
-        raise ValueError("event must be 'join' or 'leave'")
-    framework = _fresh_framework(
-        topology_factory, protocol, dh_group, seed, observe=breakdown
-    )
-    members = grow_group(framework, group_size)
-    totals: List[float] = []
-    memberships: List[float] = []
-    comms: List[float] = []
-    computs: List[float] = []
-    extra_index = 0
-    for repeat in range(repeats):
-        if event == "join":
-            extra_index += 1
-            joiner = framework.member(
-                f"x{extra_index}",
-                (group_size + extra_index) % len(framework.world.topology.machines),
-            )
-            framework.mark_event()
-            joiner.join()
-            framework.run_until_idle()
-            record = framework.timeline.latest_complete()
-            totals.append(record.total_elapsed())
-            memberships.append(record.membership_elapsed())
-            if breakdown:
-                phases = epoch_breakdown(record, framework.obs.spans)
-                comms.append(phases.communication_ms)
-                computs.append(phases.computation_ms)
-            joiner.leave()  # restore the size (unmeasured)
-            framework.run_until_idle()
-        else:
-            total, membership, comm, comput = _measure_leave(
-                framework, members, protocol
-            )
-            totals.append(total)
-            memberships.append(membership)
-            if breakdown:
-                comms.append(comm)
-                computs.append(comput)
-    return EventMeasurement(
-        protocol=protocol,
-        event=event,
-        group_size=group_size,
-        dh_group=dh_group,
-        topology=framework.world.topology.name,
-        total_ms=sum(totals) / len(totals),
-        membership_ms=sum(memberships) / len(memberships),
-        samples=repeats,
-        communication_ms=sum(comms) / len(comms) if comms else None,
-        computation_ms=sum(computs) / len(computs) if computs else None,
+    """Backward-compatible wrapper: build an :class:`ExperimentSpec` and
+    run it (the old positional-kwarg surface, kept for existing callers)."""
+    return run_experiment(
+        ExperimentSpec(
+            protocol=protocol,
+            event=event,
+            group_size=group_size,
+            dh_group=dh_group,
+            topology=topology_factory,
+            repeats=repeats,
+            seed=seed,
+            breakdown=breakdown,
+            engine=engine,
+        )
     )
 
 

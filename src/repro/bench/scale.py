@@ -1,0 +1,179 @@
+"""Large-n scaling benchmark: ``python -m repro.bench scale``.
+
+The paper stops at 50 members (its testbed's practical limit); this
+benchmark extends the same measurement — total elapsed time of a join and
+a leave on a settled group — to groups of up to 1024 members on the
+simulated testbeds, which is exactly the regime the paper's conclusion
+speculates about.
+
+Two things make large n tractable:
+
+* groups are grown with :func:`~repro.bench.harness.grow_group_batched`
+  (one rekey per size step instead of one per join), and
+* the default crypto engine is ``"symbolic"``, which skips the bignum
+  arithmetic while charging the identical operation ledger — the
+  simulated times are the same as the real engine's by construction (see
+  DESIGN.md, "Crypto engines").
+
+Per-protocol conventions at scale follow the figure sweeps, except CKD's
+1/n-weighted controller-leave term is dropped: at n ≥ 32 the weight is
+≤ 3% while the controller leave costs a second full rekey epoch, so the
+term is noise that would double CKD's simulation cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional, Sequence
+
+from repro.bench.harness import (
+    LARGE_RUN_MAX_EVENTS,
+    EventMeasurement,
+    ExperimentSpec,
+    grow_group_batched,
+    _rejoin,
+)
+
+#: Group sizes sampled by default — powers of two from 32 to 1024.
+SCALE_SIZES = (32, 64, 128, 256, 512, 1024)
+
+#: All five protocols the paper measures.
+SCALE_PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+
+
+def run_scale(
+    protocols: Sequence[str] = SCALE_PROTOCOLS,
+    sizes: Sequence[int] = SCALE_SIZES,
+    topology: str = "lan",
+    dh_group: str = "dh-512",
+    engine="symbolic",
+    repeats: int = 1,
+    seed: int = 0,
+    max_events: int = LARGE_RUN_MAX_EVENTS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[EventMeasurement]:
+    """Join and leave total-elapsed times for every protocol and size.
+
+    For each protocol the group is grown batched to each size in turn; at
+    each size a join and a leave are measured (``repeats`` samples each,
+    size-restoring).  Returns the measurements in sweep order
+    (protocol-major; per size: join then leave).
+    """
+    sizes = sorted(set(sizes))
+    say = progress or (lambda _line: None)
+    measurements: List[EventMeasurement] = []
+    for protocol in protocols:
+        spec = ExperimentSpec(
+            protocol=protocol,
+            event="join",
+            group_size=sizes[0],
+            dh_group=dh_group,
+            topology=topology,
+            repeats=repeats,
+            seed=seed,
+            engine=engine,
+        )
+        framework = spec.build_framework(observe=False)
+        members: List = []
+        extra = 0
+        for size in sizes:
+            grown = grow_group_batched(
+                framework,
+                size,
+                start=len(members),
+                existing=members,
+                max_events=max_events,
+            )
+            members += grown
+            join_totals, join_memberships = [], []
+            leave_totals, leave_memberships = [], []
+            for _ in range(repeats):
+                # Measured join of one extra member, then restore.
+                extra += 1
+                joiner = framework.member(
+                    f"x{extra}",
+                    (size + extra) % len(framework.world.topology.machines),
+                )
+                framework.mark_event()
+                joiner.join()
+                framework.run_until_idle(max_events=max_events)
+                record = framework.timeline.latest_complete()
+                join_totals.append(record.total_elapsed())
+                join_memberships.append(record.membership_elapsed())
+                joiner.leave()  # restore the size (unmeasured)
+                framework.run_until_idle(max_events=max_events)
+                # Measured leave of the middle member, then restore.
+                victim_index = size // 2
+                victim = members[victim_index]
+                framework.mark_event()
+                victim.leave()
+                framework.run_until_idle(max_events=max_events)
+                record = framework.timeline.latest_complete()
+                leave_totals.append(record.total_elapsed())
+                leave_memberships.append(record.membership_elapsed())
+                members[victim_index] = _rejoin(framework, victim)
+            for event, totals, memberships in (
+                ("join", join_totals, join_memberships),
+                ("leave", leave_totals, leave_memberships),
+            ):
+                measurements.append(
+                    EventMeasurement(
+                        protocol=protocol,
+                        event=event,
+                        group_size=size,
+                        dh_group=dh_group,
+                        topology=framework.world.topology.name,
+                        total_ms=sum(totals) / len(totals),
+                        membership_ms=sum(memberships) / len(memberships),
+                        samples=repeats,
+                        engine=framework.engine.name,
+                    )
+                )
+            say(
+                f"{protocol} n={size}: join "
+                f"{measurements[-2].total_ms:.1f} ms, leave "
+                f"{measurements[-1].total_ms:.1f} ms"
+            )
+    return measurements
+
+
+def scale_payload(
+    measurements: Sequence[EventMeasurement], **meta
+) -> dict:
+    """The BENCH_scale.json payload: run metadata + serialized cells."""
+    payload = {"benchmark": "scale"}
+    payload.update(meta)
+    payload["measurements"] = [m.to_dict() for m in measurements]
+    return payload
+
+
+def write_scale_json(
+    path: str, measurements: Sequence[EventMeasurement], **meta
+) -> dict:
+    payload = scale_payload(measurements, **meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def render_scale_table(measurements: Sequence[EventMeasurement]) -> str:
+    """A compact per-event table: one row per size, one column per protocol."""
+    protocols = sorted({m.protocol for m in measurements})
+    sizes = sorted({m.group_size for m in measurements})
+    cells = {(m.protocol, m.event, m.group_size): m for m in measurements}
+    lines = []
+    for event in ("join", "leave"):
+        if not any(m.event == event for m in measurements):
+            continue
+        lines.append(f"{event} total elapsed (ms)")
+        header = ["    n"] + [f"{p:>12s}" for p in protocols]
+        lines.append("".join(header))
+        for size in sizes:
+            row = [f"{size:5d}"]
+            for protocol in protocols:
+                m = cells.get((protocol, event, size))
+                row.append(f"{m.total_ms:12.1f}" if m else " " * 12)
+            lines.append("".join(row))
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -5,14 +5,24 @@ over group sizes, plus the membership-service baseline the paper plots
 alongside.  Growth is incremental — the group is grown once per protocol
 and measured at each sampled size — matching the paper's measurement loop
 and keeping simulation time manageable.
+
+Each measured cell is an :class:`~repro.bench.harness.EventMeasurement`,
+so figure sweeps and the scale benchmark share one serialization path;
+the curves are assembled from the measurements by
+:meth:`FigureSeries.from_measurements`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
-from repro.bench.harness import _fresh_framework, _measure_leave, grow_group
+from repro.bench.harness import (
+    EventMeasurement,
+    _fresh_framework,
+    _measure_leave,
+    grow_group,
+)
 from repro.gcs.topology import Topology
 
 #: The default group sizes sampled along the paper's 0-50 member x-axis.
@@ -32,6 +42,56 @@ class FigureSeries:
     curves: Dict[str, List[float]]
     #: membership-service baseline per size
     membership: List[float]
+    #: the per-cell measurements the curves were assembled from (empty for
+    #: hand-constructed series)
+    measurements: List[EventMeasurement] = field(default_factory=list)
+
+    @classmethod
+    def from_measurements(
+        cls,
+        name: str,
+        measurements: Sequence[EventMeasurement],
+        sizes: Sequence[int],
+    ) -> "FigureSeries":
+        """Assemble curves from per-cell measurements.
+
+        Measurements are expected in sweep order (protocol-major, sizes
+        ascending within each protocol); the membership baseline takes the
+        last measurement per size, matching the sweep's last-protocol-wins
+        convention.
+        """
+        sizes = list(sizes)
+        index_of = {size: position for position, size in enumerate(sizes)}
+        curves: Dict[str, List[float]] = {}
+        membership: List[float] = [0.0] * len(sizes)
+        for m in measurements:
+            position = index_of[m.group_size]
+            curves.setdefault(m.protocol, [0.0] * len(sizes))[
+                position
+            ] = m.total_ms
+            membership[position] = m.membership_ms
+        first = measurements[0]
+        return cls(
+            name=name,
+            event=first.event,
+            dh_group=first.dh_group,
+            topology=first.topology,
+            sizes=sizes,
+            curves=curves,
+            membership=membership,
+            measurements=list(measurements),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload, cells serialized via ``EventMeasurement``."""
+        return {
+            "name": self.name,
+            "event": self.event,
+            "dh_group": self.dh_group,
+            "topology": self.topology,
+            "sizes": list(self.sizes),
+            "measurements": [m.to_dict() for m in self.measurements],
+        }
 
     def at(self, protocol: str, size: int) -> float:
         """The measured time of ``protocol`` at group size ``size``."""
@@ -77,6 +137,7 @@ def sweep_group_sizes(
     repeats: int = 2,
     seed: int = 0,
     name: str = "",
+    engine=None,
 ) -> FigureSeries:
     """Measure ``event`` for every protocol across group sizes.
 
@@ -87,16 +148,14 @@ def sweep_group_sizes(
     if event not in ("join", "leave"):
         raise ValueError("event must be 'join' or 'leave'")
     sizes = sorted(set(sizes))
-    curves: Dict[str, List[float]] = {}
-    membership_curve: List[float] = [0.0] * len(sizes)
-    topology_name = ""
+    measurements: List[EventMeasurement] = []
     for protocol in protocols:
-        framework = _fresh_framework(topology_factory, protocol, dh_group, seed)
-        topology_name = framework.world.topology.name
+        framework = _fresh_framework(
+            topology_factory, protocol, dh_group, seed, engine=engine
+        )
         members: List = []
-        curve: List[float] = []
         extra = 0
-        for position, size in enumerate(sizes):
+        for size in sizes:
             members += grow_group(framework, size, start=len(members))
             totals, memberships = [], []
             for _ in range(repeats):
@@ -120,15 +179,19 @@ def sweep_group_sizes(
                     )
                     totals.append(total)
                     memberships.append(membership)
-            curve.append(sum(totals) / len(totals))
-            membership_curve[position] = sum(memberships) / len(memberships)
-        curves[protocol] = curve
-    return FigureSeries(
-        name=name or f"{event}-{dh_group}",
-        event=event,
-        dh_group=dh_group,
-        topology=topology_name,
-        sizes=list(sizes),
-        curves=curves,
-        membership=membership_curve,
+            measurements.append(
+                EventMeasurement(
+                    protocol=protocol,
+                    event=event,
+                    group_size=size,
+                    dh_group=dh_group,
+                    topology=framework.world.topology.name,
+                    total_ms=sum(totals) / len(totals),
+                    membership_ms=sum(memberships) / len(memberships),
+                    samples=repeats,
+                    engine=framework.engine.name,
+                )
+            )
+    return FigureSeries.from_measurements(
+        name or f"{event}-{dh_group}", measurements, sizes
     )

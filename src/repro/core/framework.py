@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Type
 
 from repro.core.timing import RekeyTimeline
 from repro.crypto.costmodel import CostModel, pentium3_666
+from repro.crypto.engine import EngineSpec, get_engine
 from repro.crypto.groups import SchnorrGroup, get_group
 from repro.crypto.rng import DeterministicRandom
 from repro.crypto.rsa import RsaPublicKey
@@ -36,12 +37,17 @@ class SecureSpreadFramework:
         rsa_bits: int = 512,
         trace: bool = False,
         observe: bool = False,
+        engine: EngineSpec = None,
     ):
         if default_protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {default_protocol!r}; "
                 f"choose from {sorted(PROTOCOLS)}"
             )
+        #: the crypto engine every member's protocol computes with;
+        #: ``"symbolic"`` unlocks large-n runs with identical simulated
+        #: timings (see :mod:`repro.crypto.engine`).
+        self.engine = get_engine(engine)
         #: the deployment's flight recorder (spans + metrics); recording is
         #: passive, so enabling it never changes any measured time.
         self.obs = Observability(enabled=observe)
@@ -90,6 +96,13 @@ class SecureSpreadFramework:
         return [
             self.member(f"{prefix}{i}", i % total, group_name)
             for i in range(count)
+        ]
+
+    def members_of(self, group_name: str = "secure-group") -> List["SecureGroupMember"]:
+        """All member processes created for ``group_name``, in creation order."""
+        return [
+            member for member in self._members.values()
+            if member.group_name == group_name
         ]
 
     def public_key_of(self, member_name: str) -> RsaPublicKey:

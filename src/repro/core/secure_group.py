@@ -49,7 +49,7 @@ class SecureGroupMember:
         self.client.on_message = self._on_message
         protocol_cls = framework.protocol_class(group_name)
         self.protocol: KeyAgreementProtocol = protocol_cls(
-            name, framework.group, framework.rng
+            name, framework.group, framework.rng, engine=framework.engine
         )
         self.obs = framework.obs
         self.protocol.obs = framework.obs
@@ -70,6 +70,12 @@ class SecureGroupMember:
         #: delivered plaintexts, for tests and examples
         self.inbox: List[Tuple[str, bytes]] = []
         self.secure_views: List[View] = []
+        #: when True, membership views are stashed instead of triggering a
+        #: rekey; :meth:`flush_deferred` later runs one key agreement for
+        #: the settled membership (the batched-growth fast path — growing
+        #: sequentially re-keys after every join, O(n²) event churn).
+        self.defer_rekey = False
+        self._deferred_view: Optional[View] = None
 
     # -- membership -------------------------------------------------------
 
@@ -121,6 +127,34 @@ class SecureGroupMember:
     def _on_view(self, _client: SpreadClient, view: View) -> None:
         if self.name not in view.members:
             return  # our own departure notification
+        if self.defer_rekey:
+            self._deferred_view = view
+            return
+        self.framework.timeline.record_view(
+            view.view_id, self.name, self.sim.now, view.members
+        )
+        self._view_seen_at.setdefault(view.view_id, self.sim.now)
+        outputs = self._charged(
+            lambda: self.protocol.start(view),
+            label=f"{self.protocol.name}.start",
+        )
+        self._after_protocol_step(view, outputs)
+
+    def flush_deferred(self, view: Optional[View] = None) -> None:
+        """Run one key agreement for the settled membership after deferral.
+
+        ``view`` is normally the synthetic merge view the batched-growth
+        path builds (identical at every member, so all protocol instances
+        agree on the epoch); without one, the last stashed view is used.
+        Callers must clear :attr:`defer_rekey` first and flush *every*
+        member before resuming the simulator, so each protocol instance
+        has started the epoch before any of its messages arrive.
+        """
+        if view is None:
+            view = self._deferred_view
+        self._deferred_view = None
+        if view is None:
+            return
         self.framework.timeline.record_view(
             view.view_id, self.name, self.sim.now, view.members
         )

@@ -11,6 +11,16 @@ virtual CPU time for it through a calibrated :class:`CostModel`.
 
 from repro.crypto.costmodel import CostModel
 from repro.crypto.dh import DiffieHellman
+from repro.crypto.engine import (
+    CryptoEngine,
+    RealEngine,
+    SymbolicEngine,
+    SymbolicElementContext,
+    REAL_ENGINE,
+    SYMBOLIC_ENGINE,
+    get_engine,
+)
+from repro.crypto.fixedbase import FixedBaseTable
 from repro.crypto.groups import (
     SchnorrGroup,
     get_group,
@@ -28,6 +38,14 @@ from repro.crypto.rsa import RsaKeyPair, RsaSigner, RsaVerifier, generate_rsa_ke
 
 __all__ = [
     "CostModel",
+    "CryptoEngine",
+    "RealEngine",
+    "SymbolicEngine",
+    "SymbolicElementContext",
+    "REAL_ENGINE",
+    "SYMBOLIC_ENGINE",
+    "get_engine",
+    "FixedBaseTable",
     "DiffieHellman",
     "SchnorrGroup",
     "get_group",

@@ -29,7 +29,7 @@ class DiffieHellman:
 
     def shared_secret(self, peer_public: int) -> int:
         """The shared group element ``peer_public^private mod p``."""
-        if not self._ctx.group.contains(peer_public):
+        if not self._ctx.contains(peer_public):
             raise ValueError("peer public value is not in the group")
         return self._ctx.exp(peer_public, self.private)
 

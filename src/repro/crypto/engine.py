@@ -1,0 +1,161 @@
+"""Pluggable crypto engines: real bignum math or symbolic fast-path.
+
+A :class:`CryptoEngine` is a factory for the
+:class:`~repro.crypto.modmath.GroupElementContext` a protocol instance
+does all its arithmetic through.  Two implementations exist:
+
+:class:`RealEngine`
+    Today's from-scratch big-integer path, unchanged semantics, plus
+    fixed-base windowed precomputation for ``g^e`` (bit-identical values,
+    measurably faster wall-clock).
+
+:class:`SymbolicEngine`
+    Group elements are represented by their *discrete logarithms* modulo
+    the subgroup order ``q``.  The order-``q`` subgroup of ``Z_p^*`` is
+    isomorphic to the additive group ``(Z_q, +)`` via ``g^x ↦ x``, so
+    every algebraic identity the protocols rely on — BD's cyclic
+    sum-of-products, GDH's accumulated products, the TGDH/STR tree folds,
+    CKD's pairwise-secret symmetry — holds *exactly*: members still agree
+    on a common group key, only each "element" is now a ``q``-sized token
+    instead of a ``p``-sized bignum.  Exponentiation collapses to one
+    word-sized multiplication, which is what unlocks 1000-member groups.
+
+Why symbolic timings are bit-identical: all ledger accounting lives in
+the recorded wrappers of :class:`GroupElementContext`, which the symbolic
+context inherits unchanged — it only overrides the raw arithmetic hooks
+underneath.  Simulated time is computed purely from the ledger via the
+:class:`~repro.crypto.costmodel.CostModel`; the numeric values flowing
+through the protocol never enter the cost computation, and control flow
+depends only on membership views, message arrival and the (untouched)
+deterministic RNG streams.  Same operations recorded, same costs charged,
+same event schedule — the same simulated milliseconds, by construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple, Union
+
+from repro.crypto.fixedbase import FixedBaseTable
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.ledger import OperationLedger
+from repro.crypto.modmath import GroupElementContext
+
+
+class CryptoEngine(ABC):
+    """Factory for the arithmetic contexts the protocols compute with."""
+
+    #: engine identifier, as accepted by :func:`get_engine` and recorded
+    #: in benchmark artifacts.
+    name: str = "?"
+
+    @abstractmethod
+    def context(
+        self, group: SchnorrGroup, ledger: Optional[OperationLedger] = None
+    ) -> GroupElementContext:
+        """A fresh arithmetic context over ``group`` charging ``ledger``."""
+
+
+#: Shared fixed-base tables, keyed by (modulus, generator, window) — the
+#: tables are immutable and expensive enough to build once per process.
+_TABLE_CACHE: Dict[Tuple[int, int, int], FixedBaseTable] = {}
+
+
+class RealEngine(CryptoEngine):
+    """The real big-integer path, with fixed-base precomputation.
+
+    ``precompute=False`` disables the windowed tables (plain ``pow``
+    everywhere); results are bit-identical either way.
+    """
+
+    name = "real"
+
+    def __init__(self, precompute: bool = True, window: int = 6):
+        self.precompute = precompute
+        self.window = window
+
+    def context(
+        self, group: SchnorrGroup, ledger: Optional[OperationLedger] = None
+    ) -> GroupElementContext:
+        fixed_base = self._table_for(group) if self.precompute else None
+        return GroupElementContext(group, ledger, fixed_base=fixed_base)
+
+    def _table_for(self, group: SchnorrGroup) -> FixedBaseTable:
+        key = (group.p, group.g, self.window)
+        table = _TABLE_CACHE.get(key)
+        if table is None:
+            table = FixedBaseTable(
+                group.p, group.g, group.q_bits, window=self.window
+            )
+            _TABLE_CACHE[key] = table
+        return table
+
+
+class SymbolicElementContext(GroupElementContext):
+    """Arithmetic on discrete-log tokens: ``g^x`` is represented by ``x``.
+
+    Only the raw hooks differ from the real context; every recorded
+    wrapper — and hence every ledger entry and simulated cost — is
+    inherited unchanged.  Under the isomorphism ``g^x ↦ x (mod q)``:
+    exponentiation becomes multiplication, multiplication becomes
+    addition, inversion becomes negation.
+    """
+
+    def _raw_exp(self, base: int, exponent: int) -> int:
+        return (base * exponent) % self.group.q
+
+    def _raw_exp_g(self, exponent: int) -> int:
+        return exponent % self.group.q
+
+    def _raw_small_exp(self, base: int, exponent: int) -> int:
+        return (base * exponent) % self.group.q
+
+    def _raw_mul(self, a: int, b: int) -> int:
+        return (a + b) % self.group.q
+
+    def _raw_inv_element(self, a: int) -> int:
+        return (-a) % self.group.q
+
+    def contains(self, element) -> bool:
+        # Tokens are dlogs in [0, q); the subgroup test of the real
+        # context would reject them even though they denote members.
+        return isinstance(element, int) and 0 <= element < self.group.q
+
+
+class SymbolicEngine(CryptoEngine):
+    """Symbolic fast path: dlog tokens instead of bignum group elements."""
+
+    name = "symbolic"
+
+    def context(
+        self, group: SchnorrGroup, ledger: Optional[OperationLedger] = None
+    ) -> GroupElementContext:
+        return SymbolicElementContext(group, ledger)
+
+
+#: Process-wide default instances — engines are stateless apart from the
+#: (already shared) table cache, so reusing them is always safe.
+REAL_ENGINE = RealEngine()
+SYMBOLIC_ENGINE = SymbolicEngine()
+
+_ENGINES: Dict[str, CryptoEngine] = {
+    RealEngine.name: REAL_ENGINE,
+    SymbolicEngine.name: SYMBOLIC_ENGINE,
+}
+
+EngineSpec = Union[None, str, CryptoEngine]
+
+
+def get_engine(which: EngineSpec = None) -> CryptoEngine:
+    """Resolve an engine spec: ``None`` (real), a name, or an instance."""
+    if which is None:
+        return REAL_ENGINE
+    if isinstance(which, CryptoEngine):
+        return which
+    try:
+        return _ENGINES[which]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown crypto engine {which!r}; expected one of "
+            f"{sorted(_ENGINES)} or a CryptoEngine instance"
+        ) from None

@@ -5,12 +5,21 @@ executes real big-integer math *and* records every operation to the owning
 member's :class:`~repro.crypto.ledger.OperationLedger`.  The simulator then
 charges virtual CPU time for the recorded work, which is what makes the
 reproduced figures track the paper's cost structure.
+
+The class is deliberately split into *recorded wrappers* (the public API:
+``exp``, ``exp_g``, ``mul``, …) and *raw arithmetic hooks* (``_raw_exp``,
+``_raw_mul``, …).  The wrappers own all ledger accounting; the hooks own
+the math.  :mod:`repro.crypto.engine` subclasses this context to swap the
+hooks for symbolic (discrete-log) arithmetic while inheriting the
+accounting untouched — which is exactly why symbolic runs produce
+bit-identical simulated timings.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.crypto.fixedbase import FixedBaseTable
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.ledger import OperationLedger
 from repro.crypto.rng import DeterministicRandom
@@ -23,22 +32,34 @@ class GroupElementContext:
     element arithmetic (mod ``p``) distinguishes full exponentiations,
     small-exponent exponentiations and single multiplications, matching the
     cost taxonomy the paper's Table 1 and §5 use.
+
+    ``fixed_base`` optionally carries a precomputed
+    :class:`~repro.crypto.fixedbase.FixedBaseTable` for the generator,
+    accelerating ``exp_g`` wall-clock (bit-identical results, identical
+    ledger accounting).
     """
 
-    def __init__(self, group: SchnorrGroup, ledger: Optional[OperationLedger] = None):
+    def __init__(
+        self,
+        group: SchnorrGroup,
+        ledger: Optional[OperationLedger] = None,
+        fixed_base: Optional[FixedBaseTable] = None,
+    ):
         self.group = group
         self.ledger = ledger or OperationLedger()
+        self._fixed_base = fixed_base
 
-    # -- element (mod p) operations -------------------------------------
+    # -- element (mod p) operations: recorded wrappers -------------------
 
     def exp(self, base: int, exponent: int) -> int:
         """Full modular exponentiation ``base^exponent mod p`` (crypto-sized exponent)."""
         self.ledger.record_exponentiation(self.group.p_bits)
-        return pow(base, exponent, self.group.p)
+        return self._raw_exp(base, exponent)
 
     def exp_g(self, exponent: int) -> int:
         """``g^exponent mod p`` — blinding a secret."""
-        return self.exp(self.group.g, exponent)
+        self.ledger.record_exponentiation(self.group.p_bits)
+        return self._raw_exp_g(exponent)
 
     def small_exp(self, base: int, exponent: int) -> int:
         """Exponentiation with a *small* exponent (e.g. BD's ``z^(i·r)`` factors).
@@ -47,19 +68,49 @@ class GroupElementContext:
         the paper's "hidden cost" of the BD protocol.
         """
         self.ledger.record_small_exponentiation(self.group.p_bits, exponent)
-        return pow(base, exponent, self.group.p)
+        return self._raw_small_exp(base, exponent)
 
     def mul(self, a: int, b: int) -> int:
         """Modular multiplication ``a·b mod p``."""
         self.ledger.record_multiplication(self.group.p_bits)
-        return (a * b) % self.group.p
+        return self._raw_mul(a, b)
 
     def inv_element(self, a: int) -> int:
         """Inverse of a group element mod ``p`` (used by BD's ``z_{i+1}/z_{i-1}``)."""
         self.ledger.record_multiplication(self.group.p_bits)
+        return self._raw_inv_element(a)
+
+    def contains(self, element) -> bool:
+        """Membership test for received elements (DH validates peer values)."""
+        return isinstance(element, int) and self.group.contains(element)
+
+    # -- element (mod p) operations: raw arithmetic hooks ----------------
+    #
+    # Never call these directly from protocol code — they bypass the
+    # ledger.  Engine implementations override them; accounting above
+    # stays shared, which is what keeps symbolic timings bit-identical.
+
+    def _raw_exp(self, base: int, exponent: int) -> int:
+        return pow(base, exponent, self.group.p)
+
+    def _raw_exp_g(self, exponent: int) -> int:
+        if self._fixed_base is not None:
+            return self._fixed_base.pow(exponent)
+        return pow(self.group.g, exponent, self.group.p)
+
+    def _raw_small_exp(self, base: int, exponent: int) -> int:
+        return pow(base, exponent, self.group.p)
+
+    def _raw_mul(self, a: int, b: int) -> int:
+        return (a * b) % self.group.p
+
+    def _raw_inv_element(self, a: int) -> int:
         return pow(a, -1, self.group.p)
 
     # -- exponent (mod q) operations ------------------------------------
+    #
+    # Exponents are *not* engine-dependent: both engines draw the same
+    # random shares and reduce them mod q, so the streams stay aligned.
 
     def exponent_product(self, a: int, b: int) -> int:
         """Exponent multiplication mod ``q`` (negligible cost: one small mult)."""

@@ -262,16 +262,16 @@ class Daemon:
     def _deliver_data(self, message: GroupMessage) -> None:
         records = self.groups.get(message.group, {})
         params = self.world.params
+        delay = params.ipc_ms + params.client_processing_ms
+        if message.target is not None:
+            client = self.clients.get(message.target)
+            if client is not None and message.target in records:
+                self.world.sim.schedule(delay, client._on_message, message)
+            return
         for name, client in self.clients.items():
             if name not in records:
                 continue
-            if message.target is not None and message.target != name:
-                continue
-            self.world.sim.schedule(
-                params.ipc_ms + params.client_processing_ms,
-                client._on_message,
-                message,
-            )
+            self.world.sim.schedule(delay, client._on_message, message)
 
     def _deliver_fifo(self, message: GroupMessage) -> None:
         client = self.clients.get(message.target)
@@ -333,10 +333,12 @@ class Daemon:
                 f"d{self.daemon_id}", self.machine.name, self.world.sim.now,
                 epoch=view.view_id, members=len(view.members),
             )
+        wanted = set(view.members)
+        wanted.update(also_to)
         recipients = [
             client
             for name, client in self.clients.items()
-            if name in view.members or name in also_to
+            if name in wanted
         ]
         for client in recipients:
             self.world.sim.schedule(

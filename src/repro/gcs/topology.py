@@ -170,3 +170,12 @@ def medium_wan_testbed(
         },
         params=params,
     )
+
+
+#: Named testbed factories, so experiment specs and CLIs can refer to a
+#: topology by name instead of importing factories.
+TESTBEDS = {
+    "lan": lan_testbed,
+    "wan": wan_testbed,
+    "medium-wan": medium_wan_testbed,
+}

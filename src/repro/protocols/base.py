@@ -21,9 +21,9 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.crypto.engine import EngineSpec, get_engine
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.ledger import OperationLedger
-from repro.crypto.modmath import GroupElementContext
 from repro.crypto.rng import DeterministicRandom
 from repro.gcs.messages import View, ViewEvent
 
@@ -78,9 +78,11 @@ class KeyAgreementProtocol(ABC):
         group: SchnorrGroup,
         rng: DeterministicRandom,
         ledger: Optional[OperationLedger] = None,
+        engine: EngineSpec = None,
     ):
         self.member = member
-        self.ctx = GroupElementContext(group, ledger or OperationLedger())
+        self.engine = get_engine(engine)
+        self.ctx = self.engine.context(group, ledger or OperationLedger())
         self.rng = rng.fork(f"{self.name}:{member}")
         #: optional :class:`repro.obs.Observability` recorder.  The hosting
         #: layer attaches it; the protocol then meters every message it

@@ -29,8 +29,8 @@ class BdProtocol(KeyAgreementProtocol):
 
     name = "BD"
 
-    def __init__(self, member, group, rng, ledger=None):
-        super().__init__(member, group, rng, ledger)
+    def __init__(self, member, group, rng, ledger=None, engine=None):
+        super().__init__(member, group, rng, ledger, engine=engine)
         self._r = 0
         self._z: Dict[str, int] = {}
         self._x: Dict[str, int] = {}

@@ -33,8 +33,8 @@ class GdhProtocol(KeyAgreementProtocol):
 
     name = "GDH"
 
-    def __init__(self, member, group, rng, ledger=None):
-        super().__init__(member, group, rng, ledger)
+    def __init__(self, member, group, rng, ledger=None, engine=None):
+        super().__init__(member, group, rng, ledger, engine=engine)
         self._r: Optional[int] = None
         #: cached partial-key list from the last key-list broadcast
         self._partials: Dict[str, int] = {}

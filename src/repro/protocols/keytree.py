@@ -18,13 +18,13 @@ Secret keys are *local* state: a serialized tree carries blinded keys only
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class TreeNode:
     """One node of a key tree."""
 
-    __slots__ = ("member", "left", "right", "parent", "key", "bkey")
+    __slots__ = ("member", "left", "right", "parent", "key", "bkey", "_height")
 
     def __init__(
         self,
@@ -40,6 +40,12 @@ class TreeNode:
             left.parent = self
         if right is not None:
             right.parent = self
+        # Cached subtree height, maintained across structural mutations so
+        # the insertion heuristic never re-walks whole subtrees.
+        if left is None and right is None:
+            self._height = 0
+        else:
+            self._height = 1 + max(left._height, right._height)
         #: secret key — local knowledge of the members below this node
         self.key: Optional[int] = None
         #: published blinded key — group knowledge; None means invalidated
@@ -50,9 +56,23 @@ class TreeNode:
         return self.member is not None
 
     def height(self) -> int:
-        if self.is_leaf:
-            return 0
-        return 1 + max(self.left.height(), self.right.height())
+        return self._height
+
+    def _recompute_height_up(self) -> None:
+        """Refresh cached heights from this node to the root, stopping as
+        soon as a recomputed value is unchanged (ancestors are then
+        already correct)."""
+        node: Optional[TreeNode] = self
+        while node is not None:
+            fresh = (
+                0
+                if node.is_leaf
+                else 1 + max(node.left._height, node.right._height)
+            )
+            if fresh == node._height:
+                return
+            node._height = fresh
+            node = node.parent
 
     def sibling(self) -> Optional["TreeNode"]:
         if self.parent is None:
@@ -65,6 +85,10 @@ class KeyTree:
 
     def __init__(self, root: TreeNode):
         self.root = root
+        # member -> leaf node, so path walks don't rescan every leaf.
+        self._leaf_index: Dict[str, TreeNode] = {
+            leaf.member: leaf for leaf in self.leaves()
+        }
 
     # -- construction -----------------------------------------------------
 
@@ -94,10 +118,10 @@ class KeyTree:
         return [leaf.member for leaf in self.leaves()]
 
     def leaf_of(self, member: str) -> TreeNode:
-        for leaf in self.leaves():
-            if leaf.member == member:
-                return leaf
-        raise KeyError(f"{member} is not in the tree")
+        try:
+            return self._leaf_index[member]
+        except KeyError:
+            raise KeyError(f"{member} is not in the tree") from None
 
     def rightmost_member(self, node: Optional[TreeNode] = None) -> str:
         """The rightmost leaf's member under ``node`` (default: the root)."""
@@ -139,19 +163,19 @@ class KeyTree:
         hanging a subtree of ``joining_height`` does not increase the
         tree's height; the root if no such node exists."""
         target_height = self.height()
-        best: Optional[TreeNode] = None
+        # Right-child-first BFS => within a depth, rightmost comes first.
+        # Children are only explored below *unsuitable* nodes: the first
+        # suitable node popped is the answer, so nothing deeper matters.
+        # With cached heights this visits O(unsuitable prefix) nodes, not
+        # the whole tree.
         queue = deque([(self.root, 0)])
-        order: List[Tuple[TreeNode, int]] = []
         while queue:
             node, depth = queue.popleft()
-            order.append((node, depth))
-            if not node.is_leaf:
-                # Right child first => within a depth, rightmost comes first.
-                queue.append((node.right, depth + 1))
-                queue.append((node.left, depth + 1))
-        for node, depth in order:
             if depth + 1 + max(node.height(), joining_height) <= target_height:
                 return node
+            if not node.is_leaf:
+                queue.append((node.right, depth + 1))
+                queue.append((node.left, depth + 1))
         return self.root
 
     def insert_tree(self, other: "KeyTree") -> TreeNode:
@@ -171,6 +195,8 @@ class KeyTree:
             else:
                 parent.right = intermediate
             intermediate.parent = parent
+            parent._recompute_height_up()
+        self._leaf_index.update(other._leaf_index)
         self._invalidate_up(intermediate)
         return intermediate
 
@@ -207,6 +233,9 @@ class KeyTree:
             # recognized as no longer part of the tree.
             parent.parent = None
             leaf.parent = None
+            del self._leaf_index[name]
+            if grand is not None:
+                grand._recompute_height_up()
             promoted.append(sibling)
             # Only nodes *above* the promotion point become stale; the
             # promoted subtree's own keys are still valid (freshness comes
@@ -250,6 +279,24 @@ class KeyTree:
                 stack.append(node.left)
                 stack.append(node.right)
         return nodes
+
+
+def serialized_members(data) -> List[str]:
+    """Member names in a serialized tree, without building any nodes.
+
+    The registration path only needs the member set to track coverage;
+    deserializing whole trees for that would dominate large merges.
+    """
+    members: List[str] = []
+    stack = [data]
+    while stack:
+        item = stack.pop()
+        if item[0] == "L":
+            members.append(item[1])
+        else:
+            stack.append(item[1])
+            stack.append(item[2])
+    return members
 
 
 def _serialize(node: TreeNode):

@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Type
 
+from repro.crypto.engine import EngineSpec, get_engine
 from repro.crypto.groups import GROUP_TEST, SchnorrGroup
 from repro.crypto.ledger import OpCounts
 from repro.crypto.rng import DeterministicRandom
@@ -71,6 +72,7 @@ class LoopbackGroup:
         protocol_cls: Type[KeyAgreementProtocol],
         group: SchnorrGroup = GROUP_TEST,
         seed: int = 0,
+        engine: EngineSpec = None,
         _births: Optional[Dict[str, int]] = None,
         _birth_counter: Optional[itertools.count] = None,
         _view_counter: Optional[itertools.count] = None,
@@ -78,6 +80,7 @@ class LoopbackGroup:
         self.protocol_cls = protocol_cls
         self.group = group
         self.seed = seed
+        self.engine = get_engine(engine)
         self.protocols: Dict[str, KeyAgreementProtocol] = {}
         self.departed: Dict[str, KeyAgreementProtocol] = {}
         self._births = _births if _births is not None else {}
@@ -98,7 +101,7 @@ class LoopbackGroup:
         rng = DeterministicRandom(self.seed)
         self.protocols[name] = self.departed.pop(
             name, None
-        ) or self.protocol_cls(name, self.group, rng)
+        ) or self.protocol_cls(name, self.group, rng, engine=self.engine)
         self._births.setdefault(name, next(self._birth_counter))
         view = self._view(ViewEvent.JOIN, joined=(name,))
         return self._drive(view)
@@ -126,6 +129,7 @@ class LoopbackGroup:
             self.protocol_cls,
             self.group,
             self.seed,
+            engine=self.engine,
             _births=self._births,
             _birth_counter=self._birth_counter,
             _view_counter=self._view_counter,
@@ -169,7 +173,9 @@ class LoopbackGroup:
         for name in names:
             if name in self.protocols:
                 raise ValueError(f"{name} is already a member")
-            self.protocols[name] = self.protocol_cls(name, self.group, rng)
+            self.protocols[name] = self.protocol_cls(
+                name, self.group, rng, engine=self.engine
+            )
             self._births.setdefault(name, next(self._birth_counter))
         event = ViewEvent.MERGE if len(names) > 1 else ViewEvent.JOIN
         view = self._view(event, joined=tuple(names))
@@ -258,9 +264,10 @@ def build_group(
     group: SchnorrGroup = GROUP_TEST,
     seed: int = 0,
     prefix: str = "m",
+    engine: EngineSpec = None,
 ) -> LoopbackGroup:
     """A convenience: form a group of ``size`` members by sequential joins."""
-    loop = LoopbackGroup(protocol_cls, group, seed)
+    loop = LoopbackGroup(protocol_cls, group, seed, engine=engine)
     for index in range(size):
         loop.join(f"{prefix}{index}")
     return loop

@@ -38,8 +38,10 @@ class StrProtocol(KeyAgreementProtocol):
 
     name = "STR"
 
-    def __init__(self, member, group, rng, ledger=None, key_confirmation=False):
-        super().__init__(member, group, rng, ledger)
+    def __init__(
+        self, member, group, rng, ledger=None, engine=None, key_confirmation=False
+    ):
+        super().__init__(member, group, rng, ledger, engine=engine)
         self.key_confirmation = key_confirmation
         self._session: Optional[int] = None
         self._order: List[str] = []  # positions 1..n, bottom to top
@@ -47,6 +49,7 @@ class StrProtocol(KeyAgreementProtocol):
         self._bk: Dict[int, int] = {}  # published blinded node keys by position
         self._keys: Dict[int, int] = {}  # locally known node keys by position
         self._collected: Dict[Tuple[str, ...], dict] = {}
+        self._covered: set = set()
         self._merging = False
 
     # ------------------------------------------------------------------
@@ -54,6 +57,7 @@ class StrProtocol(KeyAgreementProtocol):
     def start(self, view: View) -> List[ProtocolMessage]:
         self._begin_epoch(view)
         self._collected = {}
+        self._covered = set()
         self._merging = False
         if len(view.members) == 1:
             return self._bootstrap()
@@ -82,12 +86,14 @@ class StrProtocol(KeyAgreementProtocol):
 
     def _start_additive(self, view: View) -> List[ProtocolMessage]:
         self._merging = True
+        members_set = set(view.members)
+        joined_set = set(view.joined)
         have_order = self.member in self._order
-        if self.member in view.joined:
+        if self.member in joined_set:
             # Merging side: keep our subgroup stack only if it is live
             # (all its members merge alongside us); discard stale state
             # from a previous tenure.
-            live = have_order and set(self._order) <= set(view.joined)
+            live = have_order and set(self._order) <= joined_set
             if not live:
                 self._session = self.ctx.random_exponent(self.rng)
                 blinded = self.ctx.exp_g(self._session)
@@ -95,14 +101,14 @@ class StrProtocol(KeyAgreementProtocol):
                 self._br = {self.member: blinded}
                 self._bk = {1: blinded}
                 self._keys = {1: self._session}
-            stale = [m for m in self._order if m not in view.members]
+            stale = [m for m in self._order if m not in members_set]
         else:
             # Base side: the stack must cover exactly the non-joined members.
             stale = [
                 m
                 for m in self._order
                 if m != self.member
-                and (m not in view.members or m in view.joined)
+                and (m not in members_set or m in joined_set)
             ]
         if stale:
             self._apply_removal(stale)
@@ -116,7 +122,7 @@ class StrProtocol(KeyAgreementProtocol):
                 "br": dict(self._br),
                 "bk": dict(self._bk),
             }
-            self._collected[tuple(sorted(self._order))] = component
+            self._register_component(component)
             messages.append(
                 self._message(
                     "str-tree",
@@ -143,11 +149,16 @@ class StrProtocol(KeyAgreementProtocol):
         }
         self._keys[position] = top_key
 
+    def _register_component(self, component: dict) -> None:
+        self._covered.update(component["order"])
+        self._collected[tuple(sorted(component["order"]))] = component
+
     def _maybe_stack(self) -> List[ProtocolMessage]:
-        covered = set()
-        for members in self._collected:
-            covered.update(members)
-        if covered != set(self.view.members):
+        # Cheap-first coverage test, as in TGDH's fold: O(1) per message,
+        # full equality only when the counts line up.
+        if len(self._covered) != len(self.view.members) or self._covered != set(
+            self.view.members
+        ):
             return []
         components = [
             comp
@@ -188,7 +199,8 @@ class StrProtocol(KeyAgreementProtocol):
     # -- subtractive: leave and partition ----------------------------------
 
     def _start_subtractive(self, view: View) -> List[ProtocolMessage]:
-        doomed = [m for m in self._order if m not in view.members]
+        members_set = set(view.members)
+        doomed = [m for m in self._order if m not in members_set]
         sponsor_position = self._apply_removal(doomed)
         sponsor_member = self._order[sponsor_position - 1]
         if sponsor_member == self.member:
@@ -206,11 +218,12 @@ class StrProtocol(KeyAgreementProtocol):
         """Remove members; return the sponsor position (new numbering)."""
         if not doomed:
             return 1
+        doomed_set = set(doomed)
         lowest_removed = min(self._order.index(m) for m in doomed)
         survivors_below = [
-            m for m in self._order[:lowest_removed] if m not in doomed
+            m for m in self._order[:lowest_removed] if m not in doomed_set
         ]
-        self._order = [m for m in self._order if m not in doomed]
+        self._order = [m for m in self._order if m not in doomed_set]
         for member in doomed:
             self._br.pop(member, None)
         sponsor_position = max(1, len(survivors_below))
@@ -288,8 +301,7 @@ class StrProtocol(KeyAgreementProtocol):
         if message.step == "str-tree":
             if not self._merging:
                 return []
-            component = message.body
-            self._collected[tuple(sorted(component["order"]))] = component
+            self._register_component(message.body)
             return self._maybe_stack()
         if message.step == "str-bkeys":
             if self._merging:

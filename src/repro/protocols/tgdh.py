@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.gcs.messages import View, ViewEvent
 from repro.protocols.base import KeyAgreementProtocol, ProtocolMessage, classify_event
-from repro.protocols.keytree import KeyTree, TreeNode
+from repro.protocols.keytree import KeyTree, TreeNode, serialized_members
 
 
 class KeyConfirmationError(Exception):
@@ -44,12 +44,15 @@ class TgdhProtocol(KeyAgreementProtocol):
 
     name = "TGDH"
 
-    def __init__(self, member, group, rng, ledger=None, key_confirmation=False):
-        super().__init__(member, group, rng, ledger)
+    def __init__(
+        self, member, group, rng, ledger=None, engine=None, key_confirmation=False
+    ):
+        super().__init__(member, group, rng, ledger, engine=engine)
         self.key_confirmation = key_confirmation
         self._session: Optional[int] = None
         self._tree: Optional[KeyTree] = None
         self._collected: Dict[Tuple[str, ...], object] = {}
+        self._covered: set = set()
         self._pending_updates: List[Dict[str, int]] = []
         self._merging = False
         self._sponsors: set = set()
@@ -59,6 +62,7 @@ class TgdhProtocol(KeyAgreementProtocol):
     def start(self, view: View) -> List[ProtocolMessage]:
         self._begin_epoch(view)
         self._collected = {}
+        self._covered = set()
         self._pending_updates = []
         self._merging = False
         self._sponsors = set()
@@ -86,25 +90,27 @@ class TgdhProtocol(KeyAgreementProtocol):
 
     def _start_additive(self, view: View) -> List[ProtocolMessage]:
         self._merging = True
+        members_set = set(view.members)
+        joined_set = set(view.joined)
         have_tree = (
             self._tree is not None and self.member in self._tree.members()
         )
-        if self.member in view.joined:
+        if self.member in joined_set:
             # Merging side.  Keep our subgroup tree only if it is *live* —
             # all its members merge alongside us (tree ⊆ joined).  A stale
             # tree from a previous tenure is discarded.
-            live = have_tree and set(self._tree.members()) <= set(view.joined)
+            live = have_tree and set(self._tree.members()) <= joined_set
             if not live:
                 self._session = self.ctx.random_exponent(self.rng)
                 self._tree = KeyTree.singleton(self.member, key=self._session)
-            stale = [m for m in self._tree.members() if m not in view.members]
+            stale = [m for m in self._tree.members() if m not in members_set]
         else:
             # Base side: the tree must cover exactly the non-joined members.
             stale = [
                 m
                 for m in self._tree.members()
                 if m != self.member
-                and (m not in view.members or m in view.joined)
+                and (m not in members_set or m in joined_set)
             ]
         if stale:
             self._tree.remove_members(stale)
@@ -128,14 +134,17 @@ class TgdhProtocol(KeyAgreementProtocol):
         return messages
 
     def _register_tree(self, serialized) -> None:
-        tree = KeyTree.deserialize(serialized)
-        self._collected[tuple(sorted(tree.members()))] = serialized
+        members = serialized_members(serialized)
+        self._covered.update(members)
+        self._collected[tuple(sorted(members))] = serialized
 
     def _maybe_fold(self) -> List[ProtocolMessage]:
-        covered = set()
-        for members in self._collected:
-            covered.update(members)
-        if covered != set(self.view.members):
+        # Cheap-first coverage test: the length compare is O(1) per
+        # message; the full set equality runs only once, when the counts
+        # finally line up.
+        if len(self._covered) != len(self.view.members) or self._covered != set(
+            self.view.members
+        ):
             return []
         # Deterministic fold: largest tree first, ties by member names.
         trees = [
@@ -167,7 +176,8 @@ class TgdhProtocol(KeyAgreementProtocol):
     # -- subtractive: leave and partition ---------------------------------
 
     def _start_subtractive(self, view: View) -> List[ProtocolMessage]:
-        doomed = [m for m in self._tree.members() if m not in view.members]
+        members_set = set(view.members)
+        doomed = [m for m in self._tree.members() if m not in members_set]
         promoted = self._tree.remove_members(doomed)
         attached = [
             node for node in promoted if self._is_attached(node)

@@ -1,0 +1,168 @@
+"""The experiment-spec surface, serialization, and the scale benchmark."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.harness import (
+    EventMeasurement,
+    ExperimentSpec,
+    _fresh_framework,
+    grow_group,
+    grow_group_batched,
+    measure_event,
+    run_experiment,
+)
+from repro.bench.scale import render_scale_table, run_scale, write_scale_json
+from repro.gcs.topology import lan_testbed
+
+
+# -- ExperimentSpec -----------------------------------------------------------
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ExperimentSpec(protocol="TGDH", event="rekey", group_size=4)
+    with pytest.raises(ValueError):
+        ExperimentSpec(protocol="TGDH", event="join", group_size=0)
+    with pytest.raises(ValueError):
+        ExperimentSpec(protocol="TGDH", event="join", group_size=4, repeats=0)
+    with pytest.raises(ValueError):
+        ExperimentSpec(
+            protocol="TGDH", event="join", group_size=4, topology="mars"
+        )
+
+
+def test_wrapper_matches_spec_path():
+    """measure_event is a thin shim over run_experiment(ExperimentSpec)."""
+    via_wrapper = measure_event(
+        lan_testbed, "STR", 4, "join", dh_group="dh-test", repeats=1
+    )
+    via_spec = run_experiment(
+        ExperimentSpec(
+            protocol="STR",
+            event="join",
+            group_size=4,
+            dh_group="dh-test",
+            topology=lan_testbed,
+            repeats=1,
+        )
+    )
+    assert via_wrapper == via_spec
+
+
+def test_spec_accepts_topology_names():
+    spec = ExperimentSpec(
+        protocol="BD", event="join", group_size=3, topology="lan",
+        dh_group="dh-test", repeats=1,
+    )
+    measurement = run_experiment(spec)
+    assert measurement.topology == "lan"
+    assert measurement.engine == "real"
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def test_measurement_round_trips_through_dict():
+    m = measure_event(
+        lan_testbed, "BD", 3, "join", dh_group="dh-test", repeats=1,
+        engine="symbolic",
+    )
+    data = m.to_dict()
+    assert data["engine"] == "symbolic"
+    assert EventMeasurement.from_dict(data) == m
+    # JSON round trip too, and unknown keys are ignored.
+    data = json.loads(json.dumps(data))
+    data["future_field"] = 42
+    assert EventMeasurement.from_dict(data) == m
+
+
+# -- batched growth -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol", ["BD", "CKD", "GDH", "STR", "TGDH"])
+def test_batched_growth_matches_sequential_membership(protocol):
+    sequential = _fresh_framework(lan_testbed, protocol, "dh-test", 0)
+    grow_group(sequential, 7)
+    batched = _fresh_framework(lan_testbed, protocol, "dh-test", 0)
+    members = grow_group_batched(batched, 4)
+    members += grow_group_batched(batched, 7, start=4, existing=members)
+    seq_view = sequential.members_of()[0].protocol.view
+    bat_view = members[0].protocol.view
+    assert set(seq_view.members) == set(bat_view.members)
+    # Everyone holds the same key after the batched rekey.
+    keys = {member.protocol.key for member in members}
+    assert len(keys) == 1 and None not in keys
+
+
+def test_batched_growth_cuts_event_churn():
+    """One rekey per batch instead of one per join: an order of magnitude
+    fewer simulator events for the broadcast-heavy protocols, where the
+    sequential path's every-join rekey is cubic overall."""
+    sequential = _fresh_framework(lan_testbed, "BD", "dh-test", 0)
+    grow_group(sequential, 24)
+    batched = _fresh_framework(lan_testbed, "BD", "dh-test", 0)
+    grow_group_batched(batched, 24)
+    assert (
+        batched.world.sim.events_processed
+        < sequential.world.sim.events_processed / 3
+    )
+
+
+def test_batched_growth_noop_and_bookkeeping():
+    framework = _fresh_framework(lan_testbed, "TGDH", "dh-test", 0)
+    members = grow_group_batched(framework, 3)
+    assert [m.name for m in members] == ["m0", "m1", "m2"]
+    assert grow_group_batched(framework, 3, start=3, existing=members) == []
+
+
+# -- the scale benchmark ------------------------------------------------------
+
+
+def test_run_scale_tiny(tmp_path):
+    measurements = run_scale(
+        protocols=("TGDH",),
+        sizes=(6,),
+        dh_group="dh-test",
+        engine="symbolic",
+    )
+    assert [(m.event, m.group_size) for m in measurements] == [
+        ("join", 6),
+        ("leave", 6),
+    ]
+    for m in measurements:
+        assert m.engine == "symbolic"
+        assert m.total_ms > m.membership_ms > 0
+    payload = write_scale_json(
+        str(tmp_path / "BENCH_scale.json"), measurements, engine="symbolic"
+    )
+    loaded = json.loads((tmp_path / "BENCH_scale.json").read_text())
+    assert loaded == payload
+    restored = [
+        EventMeasurement.from_dict(cell) for cell in loaded["measurements"]
+    ]
+    assert restored == list(measurements)
+    table = render_scale_table(measurements)
+    assert "join total elapsed (ms)" in table
+    assert "TGDH" in table
+
+
+def test_scale_cli_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_scale.json"
+    code = main(
+        [
+            "scale",
+            "--sizes", "5",
+            "--protocols", "STR",
+            "--dh-group", "dh-test",
+            "-o", str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "scale"
+    assert payload["engine"] == "symbolic"
+    assert {m["protocol"] for m in payload["measurements"]} == {"STR"}
+    assert f"wrote {out}" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""The crypto engine abstraction: real vs symbolic, and fixed-base tables.
+
+The symbolic engine represents group elements by their discrete logs, so
+every algebraic identity the protocols rely on holds exactly while no
+bignum arithmetic runs; the recorded-operation wrappers are shared with
+the real engine, which is what makes the charged ledgers identical.
+"""
+
+import pytest
+
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.engine import (
+    REAL_ENGINE,
+    SYMBOLIC_ENGINE,
+    RealEngine,
+    SymbolicEngine,
+    get_engine,
+)
+from repro.crypto.fixedbase import FixedBaseTable
+from repro.crypto.groups import GROUP_512, GROUP_TEST
+from repro.crypto.ledger import OperationLedger
+from repro.crypto.rng import DeterministicRandom
+
+
+# -- fixed-base precomputation ------------------------------------------------
+
+
+@pytest.mark.parametrize("window", [1, 3, 5, 6, 8])
+def test_fixed_base_table_matches_builtin_pow(window):
+    group = GROUP_512
+    table = FixedBaseTable(group.p, group.g, group.q.bit_length(), window=window)
+    rng = DeterministicRandom(7)
+    for _ in range(20):
+        e = rng.randrange(0, group.q)
+        assert table.pow(e) == pow(group.g, e, group.p)
+
+
+def test_fixed_base_table_edge_exponents():
+    group = GROUP_TEST
+    table = FixedBaseTable(group.p, group.g, group.q.bit_length(), window=4)
+    for e in (0, 1, 2, group.q - 1, group.q, group.q + 1):
+        assert table.pow(e) == pow(group.g, e, group.p)
+
+
+def test_fixed_base_table_falls_back_outside_its_range():
+    group = GROUP_TEST
+    table = FixedBaseTable(group.p, group.g, group.q.bit_length(), window=4)
+    oversized = 1 << (group.q.bit_length() + 13)
+    assert table.pow(oversized) == pow(group.g, oversized, group.p)
+    assert table.pow(-3) == pow(group.g, -3, group.p)
+
+
+def test_real_engine_precompute_changes_nothing_numerically():
+    ledger_a, ledger_b = OperationLedger(), OperationLedger()
+    fast = RealEngine(precompute=True).context(GROUP_512, ledger_a)
+    plain = RealEngine(precompute=False).context(GROUP_512, ledger_b)
+    rng = DeterministicRandom(3)
+    for _ in range(5):
+        e = rng.randrange(0, GROUP_512.q)
+        assert fast.exp_g(e) == plain.exp_g(e)
+    assert ledger_a.snapshot() == ledger_b.snapshot()
+
+
+# -- engine dispatch ----------------------------------------------------------
+
+
+def test_get_engine_dispatch():
+    assert get_engine(None) is REAL_ENGINE
+    assert get_engine("real") is REAL_ENGINE
+    assert get_engine("symbolic") is SYMBOLIC_ENGINE
+    custom = SymbolicEngine()
+    assert get_engine(custom) is custom
+    with pytest.raises(ValueError):
+        get_engine("homomorphic")
+
+
+def test_engine_names():
+    assert REAL_ENGINE.name == "real"
+    assert SYMBOLIC_ENGINE.name == "symbolic"
+
+
+# -- symbolic algebra ---------------------------------------------------------
+
+
+def test_symbolic_identities_mirror_the_real_group():
+    ctx = SYMBOLIC_ENGINE.context(GROUP_TEST, OperationLedger())
+    rng = DeterministicRandom(11)
+    a = ctx.random_exponent(rng)
+    b = ctx.random_exponent(rng)
+    ga, gb = ctx.exp_g(a), ctx.exp_g(b)
+    # (g^a)^b == (g^b)^a == g^(ab)
+    assert ctx.exp(ga, b) == ctx.exp(gb, a)
+    assert ctx.exp(ga, b) == ctx.exp_g(ctx.exponent_product(a, b))
+    # g^a * g^b == g^(a+b)
+    assert ctx.mul(ga, gb) == ctx.exp_g((a + b) % GROUP_TEST.q)
+    # element * inverse == identity (g^0)
+    assert ctx.mul(ga, ctx.inv_element(ga)) == ctx.exp_g(0)
+    # blinding then unblinding via the inverse exponent round-trips
+    k = ctx.random_exponent(rng)
+    assert ctx.exp(ctx.exp(ga, k), ctx.inv_exponent(k)) == ga
+    assert ctx.contains(ga)
+    assert not ctx.contains("not-an-element")
+
+
+def test_symbolic_and_real_charge_identical_ledgers():
+    counts = {}
+    for which in ("real", "symbolic"):
+        ledger = OperationLedger()
+        ctx = get_engine(which).context(GROUP_TEST, ledger)
+        rng = DeterministicRandom(5)
+        a, b = ctx.random_exponent(rng), ctx.random_exponent(rng)
+        ga = ctx.exp_g(a)
+        ctx.exp(ga, b)
+        ctx.mul(ga, ctx.exp_g(b))
+        ctx.inv_element(ga)
+        ctx.small_exp(ga, 3)
+        counts[which] = ledger.snapshot()
+    assert counts["real"] == counts["symbolic"]
+
+
+def test_diffie_hellman_agrees_under_both_engines():
+    for which in ("real", "symbolic"):
+        ctx_a = get_engine(which).context(GROUP_TEST, OperationLedger())
+        ctx_b = get_engine(which).context(GROUP_TEST, OperationLedger())
+        alice = DiffieHellman(ctx_a, DeterministicRandom(1))
+        bob = DiffieHellman(ctx_b, DeterministicRandom(2))
+        assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)

@@ -21,8 +21,10 @@ from repro.protocols.tgdh import KeyConfirmationError as TgdhConfirmError
 
 def _confirming(cls):
     class Confirming(cls):
-        def __init__(self, member, group, rng, ledger=None):
-            super().__init__(member, group, rng, ledger, key_confirmation=True)
+        def __init__(self, member, group, rng, ledger=None, engine=None):
+            super().__init__(
+                member, group, rng, ledger, engine=engine, key_confirmation=True
+            )
 
     Confirming.name = cls.name
     return Confirming
