@@ -14,11 +14,36 @@ The package implements the full Secure Spread stack described in the paper:
   by the paper: GDH (Cliques IKA.3), CKD, BD, TGDH and STR.
 * :mod:`repro.core` — the Secure Spread framework tying the protocols to the
   group communication system, with group-data encryption.
+* :mod:`repro.faults` — deterministic, seeded fault injection (link
+  faults, daemon crashes, timed scenario schedules).
 * :mod:`repro.analysis` — the paper's conceptual cost model (Table 1).
 * :mod:`repro.bench` — the experiment harness regenerating the paper's
   tables and figures.
+
+The stable public surface is re-exported here; everything else is
+internal and may move between releases::
+
+    from repro import SecureSpreadFramework, ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(protocol="TGDH", event="join", group_size=16)
+    print(run_experiment(spec).total_ms)
 """
 
+from repro.bench.harness import ExperimentSpec, run_experiment
+from repro.core.framework import SecureSpreadFramework
+from repro.crypto.engine import RealEngine, SymbolicEngine, get_engine
+from repro.faults import FaultSchedule, LinkFaults, LinkPolicy
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "ExperimentSpec",
+    "FaultSchedule",
+    "LinkFaults",
+    "LinkPolicy",
+    "RealEngine",
+    "SecureSpreadFramework",
+    "SymbolicEngine",
+    "get_engine",
+    "run_experiment",
+    "__version__",
+]

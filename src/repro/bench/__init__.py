@@ -8,18 +8,35 @@ Figures 11, 12 and 14 do.  :mod:`repro.bench.report` renders the series as
 the tables/CSV the benchmark suite prints.
 """
 
-from repro.bench.harness import EventMeasurement, measure_event, grow_group
+from repro.bench.chaos import ChaosCell, render_chaos_table, run_chaos
+from repro.bench.harness import (
+    EventMeasurement,
+    ExperimentSpec,
+    grow_group,
+    grow_group_batched,
+    measure_event,
+    run_experiment,
+)
 from repro.bench.plot import render_plot
 from repro.bench.report import render_series, series_to_csv
+from repro.bench.scale import render_scale_table, run_scale
 from repro.bench.series import FigureSeries, sweep_group_sizes
 
 __all__ = [
+    "ChaosCell",
     "EventMeasurement",
+    "ExperimentSpec",
+    "run_experiment",
     "measure_event",
     "grow_group",
+    "grow_group_batched",
     "FigureSeries",
     "sweep_group_sizes",
     "render_plot",
     "render_series",
     "series_to_csv",
+    "run_scale",
+    "render_scale_table",
+    "run_chaos",
+    "render_chaos_table",
 ]

@@ -1,0 +1,254 @@
+"""Chaos benchmark: rekeying under injected faults (``repro.bench chaos``).
+
+The paper measures key agreement on a quiet, reliable network.  This
+benchmark asks the complementary question the fault-injection subsystem
+exists to answer: *does every protocol still reach a confirmed shared key
+when the network misbehaves, and what does the recovery cost?*
+
+For each (protocol, drop-rate) cell the group is grown fault-free, then a
+uniform per-frame drop policy (:class:`repro.faults.LinkFaults`) is
+installed and a join is injected.  The epoch watchdog
+(``stall_timeout_ms``) is armed, so a rekey whose messages were eaten by
+the network is aborted and restarted in coordinated fashion.  Each cell
+reports:
+
+* ``completion_rate`` — fraction of samples where every member converged
+  on one confirmed group key (the acceptance bar is 1.0),
+* ``stalls`` / ``restarts`` — watchdog activity summed over the samples,
+* ``fault_drops`` / ``fault_retries`` — what the fault layer actually did,
+* ``time_to_key_ms`` — mean total elapsed time of the *converged*
+  samples, i.e. the paper's §6 metric degraded by faults.
+
+Drop rate 0.0 is always worth including: it pins down that the fault
+machinery is inert when no faults are configured (zero stalls, zero
+restarts, baseline time-to-key).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Callable, List, Optional, Sequence
+
+from repro.bench.harness import grow_group
+from repro.core.framework import SecureSpreadFramework
+from repro.faults import LinkFaults
+from repro.gcs.topology import TESTBEDS
+
+#: Drop rates swept by default.  0.0 is the inertness control.
+CHAOS_DROP_RATES = (0.0, 0.05, 0.15)
+
+#: All five protocols the paper measures.
+CHAOS_PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+
+#: Epoch watchdog timeout used for chaos runs, virtual ms.  Comfortably
+#: above a clean LAN rekey (tens of ms) so the watchdog only fires on
+#: genuinely lost progress, far below the livelock guard.
+CHAOS_STALL_TIMEOUT_MS = 400.0
+
+#: Event budget per sample.  A faulty rekey retries and restarts, but a
+#: sample that needs more than this is reported as non-converged rather
+#: than looping forever.
+CHAOS_MAX_EVENTS = 3_000_000
+
+
+@dataclass
+class ChaosCell:
+    """Aggregated outcome of one (protocol, drop-rate) cell."""
+
+    protocol: str
+    drop_rate: float
+    group_size: int
+    topology: str
+    samples: int
+    converged: int
+    stalls: int
+    restarts: int
+    fault_drops: int
+    fault_retries: int
+    time_to_key_ms: Optional[float]
+    engine: str = "symbolic"
+
+    @property
+    def completion_rate(self) -> float:
+        return self.converged / self.samples if self.samples else 0.0
+
+    def to_dict(self) -> dict:
+        data = {field.name: getattr(self, field.name) for field in fields(self)}
+        data["completion_rate"] = self.completion_rate
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosCell":
+        known = {field.name for field in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+def _converged_key(framework: SecureSpreadFramework, members) -> Optional[tuple]:
+    """The (view_id, key) every member agrees on, or None.
+
+    Convergence means: every member's protocol has settled on the *same*
+    membership view, holds a key for exactly that view, and all the keys
+    are equal — the "confirmed shared key" of the acceptance criteria.
+    """
+    views = {m.protocol.view.view_id if m.protocol.view else None for m in members}
+    if len(views) != 1 or None in views:
+        return None
+    (view_id,) = views
+    for m in members:
+        if not m.protocol.done_for(m.protocol.view):
+            return None
+    keys = {m.protocol.key for m in members}
+    if len(keys) != 1:
+        return None
+    return (view_id, keys.pop())
+
+
+def run_chaos(
+    protocols: Sequence[str] = CHAOS_PROTOCOLS,
+    drop_rates: Sequence[float] = CHAOS_DROP_RATES,
+    group_size: int = 6,
+    topology: str = "lan",
+    dh_group: str = "dh-512",
+    engine="symbolic",
+    repeats: int = 2,
+    seed: int = 0,
+    stall_timeout_ms: float = CHAOS_STALL_TIMEOUT_MS,
+    max_events: int = CHAOS_MAX_EVENTS,
+    progress: Optional[Callable[[str], None]] = None,
+    trace_events: Optional[List[dict]] = None,
+) -> List[ChaosCell]:
+    """Sweep drop rates × protocols; one :class:`ChaosCell` per pair.
+
+    Every sample runs on a fresh framework seeded ``seed + sample_index``
+    so the whole sweep is deterministic and any cell can be re-run in
+    isolation (same protocol, rate, and sample seed ⇒ identical run).
+
+    Pass a list as ``trace_events`` to run with the flat GCS tracer on;
+    every sample's events are appended to it as dicts labeled with the
+    (protocol, drop rate, sample) cell coordinates.
+    """
+    say = progress or (lambda _line: None)
+    cells: List[ChaosCell] = []
+    for protocol in protocols:
+        for rate in drop_rates:
+            converged = 0
+            stalls = restarts = fault_drops = fault_retries = 0
+            times: List[float] = []
+            engine_name = str(engine)
+            for sample in range(repeats):
+                sample_seed = seed + sample
+                framework = SecureSpreadFramework(
+                    TESTBEDS[topology](),
+                    default_protocol=protocol,
+                    dh_group=dh_group,
+                    seed=sample_seed,
+                    engine=engine,
+                    stall_timeout_ms=stall_timeout_ms,
+                    trace=trace_events is not None,
+                )
+                engine_name = framework.engine.name
+                members = grow_group(framework, group_size)
+                if rate > 0.0:
+                    framework.world.install_link_faults(
+                        LinkFaults.uniform(seed=sample_seed, drop=rate)
+                    )
+                joiner = framework.member(
+                    "x1", group_size % len(framework.world.topology.machines)
+                )
+                framework.mark_event()
+                joiner.join()
+                try:
+                    framework.run_until_idle(max_events=max_events)
+                except RuntimeError:
+                    # Livelock guard tripped: count the sample as failed
+                    # but keep the sweep going.
+                    pass
+                outcome = _converged_key(framework, members + [joiner])
+                if outcome is not None:
+                    converged += 1
+                    view_id, _key = outcome
+                    record = framework.timeline.epochs.get(view_id)
+                    if record is not None and record.complete():
+                        times.append(record.total_elapsed())
+                stalls += framework.rekey_stalls
+                restarts += framework.rekey_restarts
+                fault_drops += framework.world.network.fault_drops
+                fault_retries += framework.world.network.fault_retries
+                if trace_events is not None:
+                    for event in framework.world.tracer.events:
+                        trace_events.append({
+                            "protocol": protocol,
+                            "drop_rate": rate,
+                            "sample": sample,
+                            "time": event.time,
+                            "category": event.category,
+                            "actor": event.actor,
+                            "detail": event.detail,
+                        })
+            cell = ChaosCell(
+                protocol=protocol,
+                drop_rate=rate,
+                group_size=group_size,
+                topology=topology,
+                samples=repeats,
+                converged=converged,
+                stalls=stalls,
+                restarts=restarts,
+                fault_drops=fault_drops,
+                fault_retries=fault_retries,
+                time_to_key_ms=sum(times) / len(times) if times else None,
+                engine=engine_name,
+            )
+            cells.append(cell)
+            say(
+                f"{protocol} drop={rate:.2f}: "
+                f"{cell.converged}/{cell.samples} converged, "
+                f"{cell.restarts} restarts"
+                + (
+                    f", {cell.time_to_key_ms:.1f} ms to key"
+                    if cell.time_to_key_ms is not None
+                    else ""
+                )
+            )
+    return cells
+
+
+def chaos_payload(cells: Sequence[ChaosCell], **meta) -> dict:
+    """The BENCH_chaos.json payload: run metadata + serialized cells."""
+    payload = {"benchmark": "chaos"}
+    payload.update(meta)
+    payload["cells"] = [cell.to_dict() for cell in cells]
+    return payload
+
+
+def write_chaos_json(path: str, cells: Sequence[ChaosCell], **meta) -> dict:
+    payload = chaos_payload(cells, **meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def render_chaos_table(cells: Sequence[ChaosCell]) -> str:
+    """One row per (protocol, drop rate): convergence and recovery cost."""
+    lines = [
+        "rekeying under injected link faults",
+        (
+            f"{'protocol':>8s} {'drop':>6s} {'ok':>5s} {'stalls':>7s} "
+            f"{'restarts':>9s} {'drops':>7s} {'retries':>8s} {'to-key ms':>10s}"
+        ),
+    ]
+    for cell in cells:
+        to_key = (
+            f"{cell.time_to_key_ms:10.1f}"
+            if cell.time_to_key_ms is not None
+            else f"{'-':>10s}"
+        )
+        lines.append(
+            f"{cell.protocol:>8s} {cell.drop_rate:6.2f} "
+            f"{cell.converged:2d}/{cell.samples:<2d} {cell.stalls:7d} "
+            f"{cell.restarts:9d} {cell.fault_drops:7d} "
+            f"{cell.fault_retries:8d} {to_key}"
+        )
+    return "\n".join(lines)

@@ -1,26 +1,41 @@
-"""Command-line front end: regenerate figures, or trace/attribute a rekey.
+"""Command-line front end: regenerate figures, trace/attribute a rekey,
+or stress the stack at scale and under faults.
 
-Examples::
+One subcommand per job, all sharing the same core options
+(``--engine``, ``--seed``, ``-o/--out``, ``--trace``)::
 
-    python -m repro.bench --figure 11            # LAN join, 512 & 1024
-    python -m repro.bench --figure 14 --repeats 1
-    python -m repro.bench --figure 12 --sizes 4 13 26 --csv out/
-    python -m repro.bench --table 1
+    python -m repro.bench figure 11              # LAN join, 512 & 1024
+    python -m repro.bench figure 14 --repeats 1
+    python -m repro.bench figure 12 --sizes 4 13 26 --csv out/
+    python -m repro.bench table 1
     python -m repro.bench trace --protocol TGDH --size 16 --event join \
         -o trace.json                            # Chrome/Perfetto trace
     python -m repro.bench report --protocol BD --size 13 --event leave
     python -m repro.bench scale                  # join/leave up to n=1024
     python -m repro.bench scale --sizes 32 128 512 --protocols TGDH STR
+    python -m repro.bench chaos                  # rekeying under link faults
+    python -m repro.bench chaos --drops 0 0.05 0.2 --size 8
+
+The original flag spelling (``--figure 11``, ``--table 1``) keeps
+working and takes the same sweep options it always did.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.table1 import render_table1
+from repro.bench.chaos import (
+    CHAOS_DROP_RATES,
+    CHAOS_STALL_TIMEOUT_MS,
+    render_chaos_table,
+    run_chaos,
+    write_chaos_json,
+)
 from repro.bench.harness import _fresh_framework, grow_group
 from repro.bench.plot import render_plot
 from repro.bench.report import render_series, series_to_csv
@@ -38,8 +53,8 @@ PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
 
 TOPOLOGIES = TESTBEDS
 
-#: Subcommands (everything else is the legacy flag interface).
-SUBCOMMANDS = ("trace", "report", "scale")
+#: The subcommand surface (a leading ``--`` selects the legacy flags).
+SUBCOMMANDS = ("figure", "table", "trace", "report", "scale", "chaos")
 
 #: figure number -> list of (title, testbed factory, event, dh group)
 FIGURES = {
@@ -62,7 +77,37 @@ FIGURES = {
 }
 
 
+# ---------------------------------------------------------------------------
+# parsers
+
+
+def build_common_parser() -> argparse.ArgumentParser:
+    """The options every subcommand shares (used via ``parents=``)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--engine", choices=("real", "symbolic"), default=None,
+        help="crypto engine (default: real bignum arithmetic; scale and "
+        "chaos default to symbolic, whose simulated times are identical "
+        "by construction)",
+    )
+    common.add_argument(
+        "--seed", type=int, default=0, help="simulation seed"
+    )
+    common.add_argument(
+        "-o", "--out", "--output", dest="out", default=None, metavar="PATH",
+        help="output artifact path (each subcommand has its own default)",
+    )
+    common.add_argument(
+        "--trace", dest="trace_log", default=None, metavar="PATH",
+        help="also write the flat simulation event log as JSON lines "
+        "(honored by trace, report and chaos, whose runs are bounded; "
+        "the figure/scale sweeps would overflow any trace)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The legacy flag interface: ``--figure N`` / ``--table N``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the evaluation of 'On the Performance of "
@@ -76,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     target.add_argument(
         "--table", choices=["1"], help="table to print"
     )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    _add_figure_options(parser)
+    return parser
+
+
+def _add_figure_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
         help="group sizes to sample (default: the paper's 2-50 sweep)",
@@ -88,9 +139,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=2, help="events averaged per size"
     )
     parser.add_argument(
-        "--seed", type=int, default=0, help="simulation seed"
-    )
-    parser.add_argument(
         "--csv", metavar="DIR", default=None,
         help="also write each series as CSV into this directory",
     )
@@ -98,81 +146,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true",
         help="also render each series as an ASCII chart",
     )
-    return parser
 
 
-def build_obs_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="Trace one membership event on the full simulated "
-        "stack, or print its span-based per-epoch phase attribution.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--protocol", choices=PROTOCOLS, default="TGDH",
-            help="key agreement protocol (default TGDH)",
-        )
-        p.add_argument(
-            "--size", type=int, default=16,
-            help="settled group size before the event (default 16)",
-        )
-        p.add_argument(
-            "--event", choices=("join", "leave"), default="join",
-            help="membership event to trace (default join)",
-        )
-        p.add_argument(
-            "--topology", choices=sorted(TOPOLOGIES), default="lan",
-            help="testbed to simulate (default lan)",
-        )
-        p.add_argument(
-            "--dh-group", default="dh-512", help="DH group (default dh-512)"
-        )
-        p.add_argument(
-            "--seed", type=int, default=0, help="simulation seed"
-        )
-
-    trace = sub.add_parser(
-        "trace", help="emit a Chrome trace-event JSON (Perfetto-loadable)"
-    )
-    add_common(trace)
-    trace.add_argument(
-        "-o", "--output", default="trace.json",
-        help="Chrome trace-event JSON output path (default trace.json)",
-    )
-    trace.add_argument(
-        "--jsonl", default=None, metavar="PATH",
-        help="also dump raw spans + metrics as JSON lines",
-    )
-    report = sub.add_parser(
-        "report",
-        help="print the per-epoch membership/communication/computation "
-        "decomposition, reconciled against the rekey timeline",
-    )
-    add_common(report)
-    return parser
-
-
-def build_scale_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench scale",
-        description="Measure join/leave total elapsed time at large group "
-        "sizes (batched growth; symbolic crypto engine by default, whose "
-        "simulated times match the real engine's by construction).",
+def _add_event_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--protocol", choices=PROTOCOLS, default="TGDH",
+        help="key agreement protocol (default TGDH)",
     )
     parser.add_argument(
-        "--sizes", type=int, nargs="+", default=list(SCALE_SIZES),
-        help="group sizes to sample (default: 32..1024, powers of two)",
+        "--size", type=int, default=16,
+        help="settled group size before the event (default 16)",
     )
     parser.add_argument(
-        "--protocols", nargs="+", default=list(PROTOCOLS),
-        choices=PROTOCOLS, help="protocols to include",
+        "--event", choices=("join", "leave"), default="join",
+        help="membership event to trace (default join)",
     )
-    parser.add_argument(
-        "--engine", choices=("real", "symbolic"), default="symbolic",
-        help="crypto engine (default symbolic; identical simulated times)",
-    )
+    _add_testbed_options(parser)
+
+
+def _add_testbed_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology", choices=sorted(TOPOLOGIES), default="lan",
         help="testbed to simulate (default lan)",
@@ -180,19 +172,155 @@ def build_scale_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--dh-group", default="dh-512", help="DH group (default dh-512)"
     )
-    parser.add_argument(
+
+
+def build_subcommand_parser() -> argparse.ArgumentParser:
+    """The unified subcommand interface.
+
+    Every subparser gets its *own* copy of the common parser: argparse
+    ``parents=`` shares the action objects, so a per-subcommand
+    ``set_defaults`` on a shared instance would leak its default (e.g.
+    chaos's ``BENCH_chaos.json``) into every sibling.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the evaluation of 'On the Performance of "
+        "Group Key Agreement Protocols' (ICDCS 2002) on the simulated "
+        "testbeds, or stress it at scale and under injected faults.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser(
+        "figure", parents=[build_common_parser()],
+        help="regenerate a paper figure (group-size sweep)",
+    )
+    figure.add_argument(
+        "number", choices=sorted(FIGURES), help="figure to regenerate"
+    )
+    _add_figure_options(figure)
+
+    table = sub.add_parser(
+        "table", parents=[build_common_parser()], help="print a paper table"
+    )
+    table.add_argument("number", choices=["1"], help="table to print")
+
+    trace = sub.add_parser(
+        "trace", parents=[build_common_parser()],
+        help="emit a Chrome trace-event JSON (Perfetto-loadable)",
+    )
+    _add_event_options(trace)
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also dump raw spans + metrics as JSON lines",
+    )
+    trace.set_defaults(out="trace.json")
+
+    report = sub.add_parser(
+        "report", parents=[build_common_parser()],
+        help="print the per-epoch membership/communication/computation "
+        "decomposition, reconciled against the rekey timeline",
+    )
+    _add_event_options(report)
+
+    scale = sub.add_parser(
+        "scale", parents=[build_common_parser()],
+        help="measure join/leave total elapsed time at large group sizes "
+        "(batched growth; symbolic crypto engine by default)",
+    )
+    scale.add_argument(
+        "--sizes", type=int, nargs="+", default=list(SCALE_SIZES),
+        help="group sizes to sample (default: 32..1024, powers of two)",
+    )
+    scale.add_argument(
+        "--protocols", nargs="+", default=list(PROTOCOLS),
+        choices=PROTOCOLS, help="protocols to include",
+    )
+    _add_testbed_options(scale)
+    scale.add_argument(
         "--repeats", type=int, default=1, help="events averaged per size"
     )
-    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
-    parser.add_argument(
-        "-o", "--output", default="BENCH_scale.json",
-        help="JSON output path (default BENCH_scale.json)",
+    scale.set_defaults(engine="symbolic", out="BENCH_scale.json")
+
+    chaos = sub.add_parser(
+        "chaos", parents=[build_common_parser()],
+        help="measure rekey completion under injected link faults "
+        "(drop-rate sweep with the epoch watchdog armed)",
     )
+    chaos.add_argument(
+        "--drops", type=float, nargs="+", default=list(CHAOS_DROP_RATES),
+        help="per-frame drop probabilities to sweep (default: "
+        f"{' '.join(str(r) for r in CHAOS_DROP_RATES)})",
+    )
+    chaos.add_argument(
+        "--protocols", nargs="+", default=list(PROTOCOLS),
+        choices=PROTOCOLS, help="protocols to include",
+    )
+    chaos.add_argument(
+        "--size", type=int, default=6,
+        help="settled group size before the faulty join (default 6)",
+    )
+    _add_testbed_options(chaos)
+    chaos.add_argument(
+        "--repeats", type=int, default=2, help="samples per cell"
+    )
+    chaos.add_argument(
+        "--stall-timeout-ms", type=float, default=CHAOS_STALL_TIMEOUT_MS,
+        help="epoch watchdog timeout in virtual ms "
+        f"(default {CHAOS_STALL_TIMEOUT_MS:g})",
+    )
+    chaos.set_defaults(engine="symbolic", out="BENCH_chaos.json")
+
     return parser
 
 
-def run_scale_command(argv: Sequence[str]) -> int:
-    args = build_scale_parser().parse_args(argv)
+# ---------------------------------------------------------------------------
+# subcommand bodies
+
+
+def _emit(args, lines: List[str]) -> None:
+    """Print the rendered text, and copy it to ``--out`` when given."""
+    text = "\n".join(lines)
+    print(text)
+    if getattr(args, "out", None):
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote {args.out}")
+
+
+def run_figures(args, figure: str, engine=None) -> int:
+    lines: List[str] = []
+    for title, testbed, event, dh_group in FIGURES[figure]:
+        series = sweep_group_sizes(
+            testbed,
+            args.protocols,
+            event,
+            dh_group=dh_group,
+            sizes=args.sizes,
+            repeats=args.repeats,
+            seed=args.seed,
+            name=title,
+            engine=engine,
+        )
+        lines.append(render_series(series, title))
+        lines.append("")
+        if args.plot:
+            lines.append(render_plot(series, title=title))
+            lines.append("")
+        if args.csv:
+            slug = title.split(":")[0].lower().replace(" ", "_")
+            path = os.path.join(args.csv, f"{slug}_{event}_{dh_group}.csv")
+            series_to_csv(series, path)
+            lines.append(f"  wrote {path}\n")
+    _emit(args, lines)
+    return 0
+
+
+def run_table(args) -> int:
+    _emit(args, [render_table1(), "", render_table1(n=10, m=4, p=4)])
+    return 0
+
+
+def run_scale_command(args) -> int:
     measurements = run_scale(
         protocols=args.protocols,
         sizes=args.sizes,
@@ -204,7 +332,7 @@ def run_scale_command(argv: Sequence[str]) -> int:
         progress=lambda line: print(f"  {line}", flush=True),
     )
     write_scale_json(
-        args.output,
+        args.out,
         measurements,
         sizes=sorted(set(args.sizes)),
         protocols=list(args.protocols),
@@ -216,7 +344,50 @@ def run_scale_command(argv: Sequence[str]) -> int:
     )
     print()
     print(render_scale_table(measurements))
-    print(f"\nwrote {args.output}: {len(measurements)} measurements")
+    print(f"\nwrote {args.out}: {len(measurements)} measurements")
+    return 0
+
+
+def run_chaos_command(args) -> int:
+    trace_events: Optional[List[dict]] = [] if args.trace_log else None
+    cells = run_chaos(
+        protocols=args.protocols,
+        drop_rates=args.drops,
+        group_size=args.size,
+        topology=args.topology,
+        dh_group=args.dh_group,
+        engine=args.engine,
+        repeats=args.repeats,
+        seed=args.seed,
+        stall_timeout_ms=args.stall_timeout_ms,
+        progress=lambda line: print(f"  {line}", flush=True),
+        trace_events=trace_events,
+    )
+    write_chaos_json(
+        args.out,
+        cells,
+        drops=list(args.drops),
+        protocols=list(args.protocols),
+        group_size=args.size,
+        engine=args.engine,
+        topology=args.topology,
+        dh_group=args.dh_group,
+        repeats=args.repeats,
+        seed=args.seed,
+        stall_timeout_ms=args.stall_timeout_ms,
+    )
+    print()
+    print(render_chaos_table(cells))
+    converged = sum(cell.converged for cell in cells)
+    samples = sum(cell.samples for cell in cells)
+    print(f"\nwrote {args.out}: {len(cells)} cells, "
+          f"{converged}/{samples} samples converged")
+    if trace_events is not None:
+        with open(args.trace_log, "w", encoding="utf-8") as handle:
+            for event in trace_events:
+                handle.write(json.dumps(event, sort_keys=True, default=str))
+                handle.write("\n")
+        print(f"wrote {args.trace_log}: {len(trace_events)} trace events")
     return 0
 
 
@@ -224,7 +395,8 @@ def _run_observed_event(args):
     """Grow a group, run one observed membership event, return the framework."""
     framework = _fresh_framework(
         TOPOLOGIES[args.topology], args.protocol, args.dh_group, args.seed,
-        observe=True,
+        observe=True, engine=args.engine,
+        trace=bool(getattr(args, "trace_log", None)),
     )
     members = grow_group(framework, args.size)
     if args.event == "join":
@@ -241,30 +413,58 @@ def _run_observed_event(args):
     return framework
 
 
-def run_subcommand(argv: Sequence[str]) -> int:
-    if argv[0] == "scale":
-        return run_scale_command(argv[1:])
-    args = build_obs_parser().parse_args(argv)
+def _dump_gcs_trace(args, framework) -> None:
+    if not getattr(args, "trace_log", None):
+        return
+    count = framework.world.tracer.to_jsonl(args.trace_log)
+    print(f"wrote {args.trace_log}: {count} simulation events")
+
+
+def run_trace_command(args) -> int:
     framework = _run_observed_event(args)
     title = (
         f"{args.event} at n={args.size}, {args.protocol}, {args.dh_group}, "
         f"{framework.world.topology.name}"
     )
-    if args.command == "trace":
-        trace = framework.obs.write_chrome_trace(args.output)
-        validate_chrome_trace(trace)
-        print(
-            f"wrote {args.output}: {len(trace['traceEvents'])} trace events "
-            f"({len(framework.obs.spans)} spans, "
-            f"{framework.obs.spans.dropped} dropped) — {title}"
-        )
-        print("open in Perfetto (https://ui.perfetto.dev) or chrome://tracing")
-        if args.jsonl:
-            lines = framework.obs.to_jsonl(args.jsonl)
-            print(f"wrote {args.jsonl}: {lines} JSON lines (spans + metrics)")
-    else:
-        print(render_report(framework.timeline, framework.obs.spans, title))
+    trace = framework.obs.write_chrome_trace(args.out)
+    validate_chrome_trace(trace)
+    print(
+        f"wrote {args.out}: {len(trace['traceEvents'])} trace events "
+        f"({len(framework.obs.spans)} spans, "
+        f"{framework.obs.spans.dropped} dropped) — {title}"
+    )
+    print("open in Perfetto (https://ui.perfetto.dev) or chrome://tracing")
+    if args.jsonl:
+        lines = framework.obs.to_jsonl(args.jsonl)
+        print(f"wrote {args.jsonl}: {lines} JSON lines (spans + metrics)")
+    _dump_gcs_trace(args, framework)
     return 0
+
+
+def run_report_command(args) -> int:
+    framework = _run_observed_event(args)
+    title = (
+        f"{args.event} at n={args.size}, {args.protocol}, {args.dh_group}, "
+        f"{framework.world.topology.name}"
+    )
+    _emit(args, [render_report(framework.timeline, framework.obs.spans, title)])
+    _dump_gcs_trace(args, framework)
+    return 0
+
+
+def run_subcommand(argv: Sequence[str]) -> int:
+    args = build_subcommand_parser().parse_args(argv)
+    if args.command == "figure":
+        return run_figures(args, args.number, engine=args.engine)
+    if args.command == "table":
+        return run_table(args)
+    if args.command == "trace":
+        return run_trace_command(args)
+    if args.command == "report":
+        return run_report_command(args)
+    if args.command == "scale":
+        return run_scale_command(args)
+    return run_chaos_command(args)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -273,32 +473,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_subcommand(argv)
     args = build_parser().parse_args(argv)
     if args.table == "1":
-        print(render_table1())
-        print()
-        print(render_table1(n=10, m=4, p=4))
-        return 0
-    for title, testbed, event, dh_group in FIGURES[args.figure]:
-        series = sweep_group_sizes(
-            testbed,
-            args.protocols,
-            event,
-            dh_group=dh_group,
-            sizes=args.sizes,
-            repeats=args.repeats,
-            seed=args.seed,
-            name=title,
-        )
-        print(render_series(series, title))
-        print()
-        if args.plot:
-            print(render_plot(series, title=title))
-            print()
-        if args.csv:
-            slug = title.split(":")[0].lower().replace(" ", "_")
-            path = os.path.join(args.csv, f"{slug}_{event}_{dh_group}.csv")
-            series_to_csv(series, path)
-            print(f"  wrote {path}\n")
-    return 0
+        args.out = None
+        return run_table(args)
+    args.out = None
+    return run_figures(args, args.figure, engine=None)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

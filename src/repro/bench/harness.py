@@ -15,6 +15,7 @@ backward-compatible wrapper over the old positional surface.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields
 from typing import Callable, List, Optional, Union
 
@@ -129,6 +130,7 @@ def _fresh_framework(
     seed: int,
     observe: bool = False,
     engine=None,
+    trace: bool = False,
 ) -> SecureSpreadFramework:
     return SecureSpreadFramework(
         topology_factory(),
@@ -137,6 +139,7 @@ def _fresh_framework(
         seed=seed,
         observe=observe,
         engine=engine,
+        trace=trace,
     )
 
 
@@ -304,7 +307,18 @@ def measure_event(
     engine=None,
 ) -> EventMeasurement:
     """Backward-compatible wrapper: build an :class:`ExperimentSpec` and
-    run it (the old positional-kwarg surface, kept for existing callers)."""
+    run it (the old positional-kwarg surface, kept for existing callers).
+
+    .. deprecated::
+        Build an :class:`ExperimentSpec` and call :func:`run_experiment`
+        instead; the spec form names every parameter and serializes.
+    """
+    warnings.warn(
+        "measure_event is deprecated; build an ExperimentSpec and call "
+        "run_experiment instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_experiment(
         ExperimentSpec(
             protocol=protocol,

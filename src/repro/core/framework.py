@@ -38,6 +38,7 @@ class SecureSpreadFramework:
         trace: bool = False,
         observe: bool = False,
         engine: EngineSpec = None,
+        stall_timeout_ms: Optional[float] = None,
     ):
         if default_protocol not in PROTOCOLS:
             raise ValueError(
@@ -54,7 +55,12 @@ class SecureSpreadFramework:
         self.world = GcsWorld(topology, trace=trace, obs=self.obs)
         self.group: SchnorrGroup = get_group(dh_group)
         self.cost_model = cost_model or pentium3_666()
+        self.seed = seed
         self.rng = DeterministicRandom(seed)
+        #: epoch watchdog: how long a member waits on an incomplete rekey
+        #: before proposing a coordinated restart (None disables the
+        #: watchdog — the right setting for fault-free runs)
+        self.stall_timeout_ms = stall_timeout_ms
         self.default_protocol = default_protocol
         self.sign_for_real = sign_for_real
         self.rsa_bits = rsa_bits
@@ -110,6 +116,16 @@ class SecureSpreadFramework:
         return member._keypair.public
 
     # -- measurement ------------------------------------------------------------
+
+    @property
+    def rekey_stalls(self) -> int:
+        """Stalls the epoch watchdog declared, summed over all members."""
+        return sum(m.stalls_detected for m in self._members.values())
+
+    @property
+    def rekey_restarts(self) -> int:
+        """Coordinated rekey restarts executed, summed over all members."""
+        return sum(m.restarts for m in self._members.values())
 
     def mark_event(self) -> None:
         """Mark "now" as a membership event's injection instant (both on

@@ -12,14 +12,21 @@ Spread client (§3.3):
   members share a machine, which is where the paper's BD-doubling effect
   comes from;
 * application data sent while a rekey is in progress is queued and
-  released, encrypted under the new group key, once the epoch completes.
+  released, encrypted under the new group key, once the epoch completes;
+* an optional **epoch watchdog** (``stall_timeout_ms`` on the framework)
+  detects a rekey that stopped making progress — e.g. a unicast protocol
+  message lost to a link fault — and restarts key agreement on the
+  current view.  Restarts are coordinated through an Agreed-ordered
+  ``rekey-restart`` marker so every member abandons the stalled run at
+  the same point in the total order, and every protocol message carries
+  its attempt number so stragglers of an aborted run are discarded.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.encryption import GroupCipher, SealedMessage
+from repro.core.encryption import GroupCipher, IntegrityError, SealedMessage
 from repro.crypto.rsa import RsaSigner, RsaVerifier, cached_rsa_keypair
 from repro.obs.metrics import record_op_counts
 from repro.gcs.client import SpreadClient
@@ -76,6 +83,16 @@ class SecureGroupMember:
         #: sequentially re-keys after every join, O(n²) event churn).
         self.defer_rekey = False
         self._deferred_view: Optional[View] = None
+        # -- rekey stall recovery (see the module docstring) --
+        #: restart-attempt generation for the epoch in ``_attempt_epoch``
+        self._attempt = 0
+        self._attempt_epoch: Optional[Tuple[int, int]] = None
+        #: messages of a future attempt, held until its marker arrives
+        self._early: List[Tuple[str, ProtocolMessage, object, int]] = []
+        self._watchdog_token = 0
+        self.stalls_detected = 0
+        self.restarts = 0
+        self.dropped_ciphertexts = 0
 
     # -- membership -------------------------------------------------------
 
@@ -114,6 +131,8 @@ class SecureGroupMember:
         if not self.is_secure:
             self._outbound_queue.append(plaintext)
             return
+        if not self.client.connected:
+            return  # our daemon crashed; the message is lost with us
         cipher = self._ciphers[self._current_epoch]
         sealed = cipher.seal(self.name, plaintext)
         self.client.multicast(
@@ -126,7 +145,10 @@ class SecureGroupMember:
 
     def _on_view(self, _client: SpreadClient, view: View) -> None:
         if self.name not in view.members:
-            return  # our own departure notification
+            # Our own departure notification: we are out of the group, so
+            # stop watching for a stalled rekey we are no longer part of.
+            self._watchdog_token += 1
+            return
         if self.defer_rekey:
             self._deferred_view = view
             return
@@ -134,11 +156,15 @@ class SecureGroupMember:
             view.view_id, self.name, self.sim.now, view.members
         )
         self._view_seen_at.setdefault(view.view_id, self.sim.now)
+        self._attempt = 0
+        self._attempt_epoch = view.view_id
+        self._early = []
         outputs = self._charged(
             lambda: self.protocol.start(view),
             label=f"{self.protocol.name}.start",
         )
         self._after_protocol_step(view, outputs)
+        self._arm_watchdog(view)
 
     def flush_deferred(self, view: Optional[View] = None) -> None:
         """Run one key agreement for the settled membership after deferral.
@@ -159,30 +185,45 @@ class SecureGroupMember:
             view.view_id, self.name, self.sim.now, view.members
         )
         self._view_seen_at.setdefault(view.view_id, self.sim.now)
+        self._attempt = 0
+        self._attempt_epoch = view.view_id
+        self._early = []
         outputs = self._charged(
             lambda: self.protocol.start(view),
             label=f"{self.protocol.name}.start",
         )
         self._after_protocol_step(view, outputs)
+        self._arm_watchdog(view)
 
     # -- protocol message handling ----------------------------------------------
 
     def _on_message(self, _client: SpreadClient, message: GroupMessage) -> None:
         kind, payload = message.payload[0], message.payload[1:]
         if kind == "key-agreement":
-            pmsg, signature = payload
-            self._handle_protocol_message(message.sender, pmsg, signature)
+            pmsg, signature, attempt = payload
+            self._handle_protocol_message(message.sender, pmsg, signature, attempt)
         elif kind == "secure-data":
             (sealed,) = payload
             self._handle_secure_data(sealed)
+        elif kind == "rekey-restart":
+            view_id, proposed = payload
+            self._handle_rekey_restart(view_id, proposed)
         else:  # pragma: no cover - no other kinds are sent
             raise ValueError(f"unknown secure payload kind {kind!r}")
 
     def _handle_protocol_message(
-        self, sender: str, pmsg: ProtocolMessage, signature
+        self, sender: str, pmsg: ProtocolMessage, signature, attempt: int = 0
     ) -> None:
         if sender == self.name:
             return  # our own broadcast echoed back; nothing to verify
+        if pmsg.epoch == self._attempt_epoch and attempt != self._attempt:
+            if attempt > self._attempt:
+                # A restarted run we haven't learned about yet (its Agreed
+                # marker is still in flight while this FIFO message raced
+                # ahead); hold the message until the marker arrives.
+                self._early.append((sender, pmsg, signature, attempt))
+            # else: a straggler of an aborted attempt — discard.
+            return
 
         def work():
             if not self._verify(sender, pmsg, signature):
@@ -209,10 +250,16 @@ class SecureGroupMember:
     ) -> None:
         for pmsg in outputs:
             # Signing advances our CPU timeline; the message leaves only
-            # once the signature is paid for.
+            # once the signature is paid for.  The attempt is captured now:
+            # a restart arriving before the CPU frees up must not relabel
+            # (and thereby resurrect) a message of the aborted run.
             signature = self._sign(pmsg)
             self.sim.schedule_at(
-                max(self._cpu_tail, self.sim.now), self._transmit, pmsg, signature
+                max(self._cpu_tail, self.sim.now),
+                self._transmit,
+                pmsg,
+                signature,
+                self._attempt,
             )
         if self.protocol.done_for(view):
             self.sim.schedule_at(
@@ -247,8 +294,10 @@ class SecureGroupMember:
         )
         return signature
 
-    def _transmit(self, pmsg: ProtocolMessage, signature) -> None:
-        payload = ("key-agreement", pmsg, signature)
+    def _transmit(self, pmsg: ProtocolMessage, signature, attempt: int = 0) -> None:
+        if not self.client.connected:
+            return  # our daemon crashed while the signature was computing
+        payload = ("key-agreement", pmsg, signature, attempt)
         if pmsg.requires_agreed:
             self.client.multicast(
                 self.group_name,
@@ -266,6 +315,7 @@ class SecureGroupMember:
             return  # a newer view superseded this epoch mid-flight
         if view.view_id == self._current_epoch:
             return
+        self._watchdog_token += 1  # the epoch completed: disarm the watchdog
         self._current_epoch = view.view_id
         cipher = GroupCipher(self.protocol.key, view.view_id)
         self._ciphers[view.view_id] = cipher
@@ -294,10 +344,96 @@ class SecureGroupMember:
         cipher = self._ciphers.get(sealed.epoch)
         if cipher is None:
             return  # sealed under an epoch we never saw (pre-join traffic)
-        plaintext = cipher.open(sealed)
+        try:
+            plaintext = cipher.open(sealed)
+        except IntegrityError:
+            # Sealed under a key of the same epoch id that a stall restart
+            # has since replaced; the sender will requeue under the new key.
+            self.dropped_ciphertexts += 1
+            return
         self.inbox.append((sealed.sender, plaintext))
         if self.on_secure_message is not None:
             self.on_secure_message(self, sealed.sender, plaintext)
+
+    # -- rekey stall recovery ----------------------------------------------
+
+    def _arm_watchdog(self, view: View) -> None:
+        """Start (or restart) the epoch watchdog for ``view``.
+
+        Disabled when the framework's ``stall_timeout_ms`` is None — the
+        default, so fault-free runs schedule no extra events and stay
+        bit-identical to builds without the watchdog.  The timeout must
+        comfortably exceed a healthy rekey for the deployment, or the
+        watchdog will declare stalls that are merely slow.
+        """
+        timeout = self.framework.stall_timeout_ms
+        if timeout is None:
+            return
+        self._watchdog_token += 1
+        token = (view.view_id, self._attempt, self._watchdog_token)
+        self.sim.schedule(timeout, self._watchdog_fire, token)
+
+    def _watchdog_fire(self, token) -> None:
+        view_id, attempt, wd_token = token
+        if wd_token != self._watchdog_token:
+            return  # epoch installed or superseded since arming
+        view = self.protocol.view
+        if (
+            view is None
+            or view.view_id != view_id
+            or attempt != self._attempt
+            or self._current_epoch == view_id
+            or not self.client.connected
+        ):
+            return
+        # The rekey for the current view is still incomplete after a full
+        # timeout: declare a stall and propose a coordinated restart.  The
+        # marker is an ordinary Agreed message, so every member processes
+        # it at the same point in the total order.
+        self.stalls_detected += 1
+        if self.obs.enabled:
+            self.obs.counter("core.rekey_stalls", member=self.name).inc()
+            self.obs.instant(
+                "epoch", "rekey stall", self.name, self.machine.name,
+                self.sim.now, epoch=str(view_id), attempt=attempt,
+            )
+        self.client.multicast(
+            self.group_name,
+            ("rekey-restart", view_id, self._attempt + 1),
+            size_bytes=64,
+        )
+        # Re-arm: should even the restarted run stall, the next firing
+        # proposes a further attempt.
+        self._arm_watchdog(view)
+
+    def _handle_rekey_restart(self, view_id, proposed: int) -> None:
+        view = self.protocol.view
+        if view is None or view.view_id != view_id:
+            return  # a newer view already superseded the stalled run
+        if proposed <= self._attempt:
+            return  # duplicate marker (several members detected the stall)
+        self._attempt = proposed
+        self._attempt_epoch = view_id
+        self.restarts += 1
+        if self.obs.enabled:
+            self.obs.counter("core.rekey_restarts", member=self.name).inc()
+        # Members that already installed this epoch roll it back so the
+        # whole group converges on the restarted run's key.
+        if self._current_epoch == view_id:
+            self._current_epoch = None
+            self._ciphers.pop(view_id, None)
+        outputs = self._charged(
+            lambda: self.protocol.restart(view),
+            label=f"{self.protocol.name}.restart",
+        )
+        self._after_protocol_step(view, outputs)
+        self._arm_watchdog(view)
+        # Release any messages of this attempt that raced ahead of the
+        # marker (FIFO unicasts are not ordered relative to Agreed ones).
+        replay = [e for e in self._early if e[3] == self._attempt]
+        self._early = [e for e in self._early if e[3] > self._attempt]
+        for sender, pmsg, signature, attempt in replay:
+            self._handle_protocol_message(sender, pmsg, signature, attempt)
 
     # -- CPU charging -----------------------------------------------------------
 

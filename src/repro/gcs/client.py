@@ -91,7 +91,14 @@ class SpreadClient:
 
     # -- delivery (called by the daemon) ----------------------------------
 
+    def _on_crashed(self) -> None:
+        """The local daemon crashed: the connection is severed with no
+        leave messages (the surviving daemons discover it themselves)."""
+        self.connected = False
+
     def _on_message(self, message: GroupMessage) -> None:
+        if not self.connected:
+            return
         self.received.append(message)
         self.world.obs.counter(
             "client.messages_delivered", client=self.name
@@ -100,6 +107,8 @@ class SpreadClient:
             self.on_message(self, message)
 
     def _on_view(self, view: View) -> None:
+        if not self.connected:
+            return
         self.views.append(view)
         self.world.obs.counter("client.views_delivered", client=self.name).inc()
         if self.on_view is not None:

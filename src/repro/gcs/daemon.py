@@ -97,6 +97,16 @@ class Daemon:
         self._round_id = 0
         self._accepts: Dict[int, _AcceptState] = {}
         self._last_propose_token: Optional[Tuple[int, int]] = None
+        # crash / restart state
+        self._crashed = False
+        self._last_config_number = 0
+        # retransmission: delivered-message history (to serve peers' NACKs)
+        # and the gap timer currently armed, keyed (config_id, next_needed)
+        self._history: Dict[Tuple[int, int], Dict[int, SequencedMessage]] = {}
+        self._nack_armed_for: Optional[Tuple[Tuple[int, int], int]] = None
+        self._nack_rotation = 0
+        self.retransmit_requests = 0
+        self.retransmits_served = 0
 
     # ------------------------------------------------------------------
     # bootstrap / client connections
@@ -111,6 +121,8 @@ class Daemon:
 
     def connect(self, client) -> None:
         """Attach a local client process."""
+        if self._crashed:
+            raise RuntimeError(f"daemon d{self.daemon_id} has crashed")
         if client.name in self.world.client_directory:
             raise ValueError(f"client name {client.name!r} already in use")
         self.clients[client.name] = client
@@ -137,6 +149,8 @@ class Daemon:
 
     def submit(self, message: GroupMessage) -> None:
         """Accept a message from a local client for dissemination."""
+        if self._crashed:
+            return  # a crash severs in-flight IPC; the message is lost
         if message.service is Service.AGREED:
             if self._frozen:
                 self._send_queue.append(message)
@@ -158,6 +172,8 @@ class Daemon:
 
     def _on_sequenced(self, config: Config, message: GroupMessage, assignments) -> None:
         """The token reached us: stamp the message and disseminate it."""
+        if self._crashed:
+            return
         if self.config is None or self.config.config_id != config.config_id:
             # The configuration changed while we waited for the token;
             # resubmit so the message is sequenced in the new one.
@@ -185,6 +201,7 @@ class Daemon:
                 self.world.daemons[dst_id]._on_frame,
                 smsg,
                 extra_delay_ms=max(sequenced_at - now, 0.0),
+                retry_faults=True,
             )
 
     def _send_fifo(self, message: GroupMessage) -> None:
@@ -211,6 +228,14 @@ class Daemon:
     # ------------------------------------------------------------------
 
     def _on_frame(self, smsg: SequencedMessage) -> None:
+        if self._crashed:
+            return
+        if (
+            self.config
+            and smsg.config_id == self.config.config_id
+            and smsg.seq <= self._delivered
+        ):
+            return  # duplicate of an already-delivered frame
         self._recv.setdefault(smsg.config_id, {})[smsg.seq] = smsg
         if self.config and smsg.config_id == self.config.config_id:
             self.world.sim.schedule(0, self._try_deliver, smsg.config_id)
@@ -223,13 +248,18 @@ class Daemon:
         return smsg.sequenced_at + ring.distance_ms(origin, mine)
 
     def _try_deliver(self, config_id: int) -> None:
-        if self.config is None or self.config.config_id != config_id:
+        if self._crashed or self.config is None or self.config.config_id != config_id:
             return
         pending = self._recv.get(config_id, {})
         now = self.world.sim.now
         while True:
             smsg = pending.get(self._delivered + 1)
             if smsg is None:
+                if pending:
+                    # Later frames arrived but the next-in-sequence one is
+                    # missing — likely lost to a link fault.  Arm the
+                    # retransmission (NACK) timer.
+                    self._arm_nack(config_id)
                 return
             hold = self._hold_until(smsg)
             if hold > now:
@@ -242,6 +272,7 @@ class Daemon:
             del pending[smsg.seq]
             if smsg.origin_daemon == self.daemon_id:
                 self._sent.get(config_id, {}).pop(smsg.seq, None)
+            self._record_history(config_id, smsg)
             self._deliver(smsg)
 
     def _deliver(self, smsg: SequencedMessage) -> None:
@@ -274,6 +305,8 @@ class Daemon:
             self.world.sim.schedule(delay, client._on_message, message)
 
     def _deliver_fifo(self, message: GroupMessage) -> None:
+        if self._crashed:
+            return
         client = self.clients.get(message.target)
         if client is None:
             return
@@ -285,6 +318,158 @@ class Daemon:
             params.ipc_ms + params.client_processing_ms,
             client._on_message,
             message,
+        )
+
+    # ------------------------------------------------------------------
+    # retransmission (NACK recovery of frames lost to link faults)
+    # ------------------------------------------------------------------
+    #
+    # Totem recovers lost frames via retransmission requests carried on
+    # the token; we model the same discipline as a NACK unicast to a peer
+    # daemon.  Recovery traffic rides the reliable control channel (the
+    # same one the configuration-change exchange uses), and the origin
+    # always retains its own undelivered messages, so a gap converges as
+    # long as any daemon in the configuration holds the frame.
+
+    def _record_history(self, config_id, smsg: SequencedMessage) -> None:
+        bucket = self._history.setdefault(config_id, {})
+        bucket[smsg.seq] = smsg
+        limit = self.world.params.retransmit_history
+        while len(bucket) > limit:
+            # seqs are recorded in delivery (increasing) order, so the
+            # first key is always the oldest
+            del bucket[next(iter(bucket))]
+
+    def _arm_nack(self, config_id) -> None:
+        key = (config_id, self._delivered + 1)
+        if self._nack_armed_for == key:
+            return  # a timer for this exact gap is already pending
+        self._nack_armed_for = key
+        self.world.sim.schedule(
+            self.world.params.retransmit_timeout_ms, self._nack_fire, key
+        )
+
+    def _nack_fire(self, key) -> None:
+        if self._nack_armed_for != key:
+            return  # gap resolved, or a newer gap superseded this timer
+        self._nack_armed_for = None
+        config_id, next_needed = key
+        if (
+            self._crashed
+            or self.config is None
+            or self.config.config_id != config_id
+            or self._delivered + 1 != next_needed
+        ):
+            return
+        pending = self._recv.get(config_id, {})
+        if not pending:
+            return
+        top = max(pending)
+        missing = [s for s in range(next_needed, top) if s not in pending][:64]
+        if not missing:
+            return  # everything arrived meanwhile; the hold barrier delivers
+        others = [d for d in self.config.daemon_ids if d != self.daemon_id]
+        if not others:
+            return
+        # Rotate the target so a peer that also lost the frame (or crashed
+        # mid-request) doesn't stall us forever.
+        target = others[self._nack_rotation % len(others)]
+        self._nack_rotation += 1
+        self.retransmit_requests += 1
+        self.world.tracer.record(
+            self.world.sim.now, "nack", f"d{self.daemon_id}",
+            target=target, missing=list(missing),
+        )
+        if self.world.obs.enabled:
+            self.world.obs.counter(
+                "daemon.nacks", daemon=f"d{self.daemon_id}"
+            ).inc()
+        self.world.network.send(
+            self.daemon_id,
+            target,
+            _CONTROL_FRAME_BYTES + 8 * len(missing),
+            self.world.daemons[target]._on_nack,
+            config_id,
+            tuple(missing),
+            self.daemon_id,
+            control=True,
+        )
+        # Re-arm: if the retransmission is also lost the next firing tries
+        # the next peer.  (The timer self-cancels once the gap closes.)
+        self._arm_nack(config_id)
+
+    def _on_nack(self, config_id, missing, requester: int) -> None:
+        if self._crashed:
+            return
+        recv = self._recv.get(config_id, {})
+        sent = self._sent.get(config_id, {})
+        history = self._history.get(config_id, {})
+        for seq in missing:
+            smsg = recv.get(seq) or sent.get(seq) or history.get(seq)
+            if smsg is None:
+                continue
+            self.retransmits_served += 1
+            self.world.network.send(
+                self.daemon_id,
+                requester,
+                smsg.message.size_bytes,
+                self.world.daemons[requester]._on_frame,
+                smsg,
+                control=True,
+            )
+
+    # ------------------------------------------------------------------
+    # crash / restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Halt abruptly: all volatile state is lost and local clients are
+        severed without leave messages (the surviving daemons discover the
+        failure through their detectors and reconfigure)."""
+        self._crashed = True
+        for name in list(self.clients):
+            client = self.clients.pop(name)
+            self.world.client_directory.pop(name, None)
+            client._on_crashed()
+        if self.config is not None:
+            self._last_config_number = self.config.config_id[0]
+        self.config = None
+        self.groups = {}
+        self._recv = {}
+        self._sent = {}
+        self._history = {}
+        self._delivered = 0
+        self._frozen = False
+        self._send_queue = []
+        self._accepts = {}
+        self._nack_armed_for = None
+        self._last_propose_token = None
+        self.world.tracer.record(
+            self.world.sim.now, "crash", f"d{self.daemon_id}"
+        )
+
+    def restart(self) -> None:
+        """Come back up as a singleton configuration; merging with the
+        rest of the network is an ordinary heavyweight membership event
+        driven by the failure detectors."""
+        if not self._crashed:
+            raise RuntimeError(f"daemon d{self.daemon_id} is not crashed")
+        self._crashed = False
+        ring = TokenRing(self.world.topology, [self.machine], self.world.sim)
+        config = Config(
+            config_id=(self._last_config_number + 1, self.daemon_id),
+            daemon_ids=(self.daemon_id,),
+            ring=ring,
+        )
+        self.config = config
+        self._reachable = frozenset({self.daemon_id})
+        self._recv = {config.config_id: {}}
+        self._sent = {config.config_id: {}}
+        self._delivered = 0
+        self._round_id += 1
+        self.world.tracer.record(
+            self.world.sim.now, "restart", f"d{self.daemon_id}",
+            config=config.config_id,
         )
 
     # ------------------------------------------------------------------
@@ -353,6 +538,8 @@ class Daemon:
 
     def on_reachability(self, reachable: FrozenSet[int]) -> None:
         """The failure detector reports a new reachable daemon set."""
+        if self._crashed:
+            return
         if self.config and reachable == set(self.config.daemon_ids):
             return
         if self.world.obs.enabled:
@@ -376,11 +563,14 @@ class Daemon:
                     round_token,
                     reachable,
                     self.daemon_id,
+                    control=True,
                 )
 
     def _on_propose(
         self, round_token: Tuple[int, int], members: FrozenSet[int], coordinator: int
     ) -> None:
+        if self._crashed:
+            return
         self._frozen = True
         self._last_propose_token = round_token
         config_id = self.config.config_id
@@ -403,6 +593,7 @@ class Daemon:
             round_token,
             state,
             frozenset(members),
+            control=True,
         )
 
     def _on_accept(
@@ -411,6 +602,8 @@ class Daemon:
         state: _AcceptState,
         members: FrozenSet[int],
     ) -> None:
+        if self._crashed:
+            return
         if round_token != (self.daemon_id, self._round_id):
             return  # stale round
         self._accepts[state.daemon_id] = state
@@ -447,6 +640,7 @@ class Daemon:
                 config,
                 union,
                 states,
+                control=True,
             )
 
     def _on_install(
@@ -456,6 +650,8 @@ class Daemon:
         union: Dict[int, Dict[int, SequencedMessage]],
         states: Dict[int, _AcceptState],
     ) -> None:
+        if self._crashed:
+            return
         if round_token != self._last_propose_token:
             return  # a newer configuration change superseded this round
         old_membership = {
@@ -492,6 +688,8 @@ class Daemon:
         self._recv.setdefault(config.config_id, {})
         self._recv = {config.config_id: self._recv[config.config_id]}
         self._sent = {config.config_id: {}}
+        self._history = {}
+        self._nack_armed_for = None
         self._delivered = 0
         self._frozen = False
         self.world.tracer.record(

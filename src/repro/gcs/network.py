@@ -1,4 +1,4 @@
-"""Frame delivery between daemons, with partitions and healing.
+"""Frame delivery between daemons, with partitions, healing and faults.
 
 The network is an oracle for reachability: frames between daemons in
 different components are silently dropped (as a partitioned IP network
@@ -6,6 +6,14 @@ would), and daemons are informed of connectivity changes only after a
 failure-detection delay — reproducing the paper's model where "an
 unreliable network can split into disjoint components" and the group
 communication system reacts (§5).
+
+Beyond clean partitions, the network accepts a
+:class:`~repro.faults.link.LinkFaults` injector (see
+:meth:`Network.install_faults`): per-link drop/delay/duplicate/reorder
+policies applied to inter-machine frames, charged on the same
+``frames_dropped``/tracer paths as partition losses.  Crashed daemons
+(see :meth:`repro.gcs.daemon.Daemon.crash`) are unreachable in both
+directions until restarted.
 """
 
 from __future__ import annotations
@@ -34,32 +42,89 @@ class Network:
         self.obs = obs or NULL_OBS
         self._daemons: Dict[int, Any] = {}
         self._component_of: Dict[int, int] = {}
+        self._crashed: Set[int] = set()
+        #: optional :class:`repro.faults.link.LinkFaults` injector
+        self.faults = None
         self.frames_sent = 0
         self.frames_dropped = 0
+        self.fault_drops = 0
+        self.fault_duplicates = 0
+        self.fault_retries = 0
         self.bytes_sent = 0
 
     # -- registration ----------------------------------------------------
 
     def register(self, daemon: Any) -> None:
         """Register a daemon (anything with ``daemon_id``, ``machine`` and
-        ``on_reachability``)."""
+        ``on_reachability``).
+
+        The daemon's network component is derived from the topology, not
+        hard-coded: a daemon registered after a partition joins the
+        component of the daemons already on its machine (or, failing
+        that, its site), so late registrations land on the correct side
+        of the split instead of silently joining component 0.
+        """
+        component = self._component_for(daemon)
         self._daemons[daemon.daemon_id] = daemon
-        self._component_of[daemon.daemon_id] = 0
+        self._component_of[daemon.daemon_id] = component
+
+    def _component_for(self, daemon: Any) -> int:
+        components = set(self._component_of.values())
+        if len(components) <= 1:
+            return next(iter(components), 0)
+        # The network is partitioned: route the newcomer through the
+        # topology.  Same machine first, then same site (a partition in
+        # this model severs links between machines, never within one).
+        machine = daemon.machine
+        for peer_id, component in self._component_of.items():
+            if self._daemons[peer_id].machine is machine:
+                return component
+        for peer_id, component in self._component_of.items():
+            if self._daemons[peer_id].machine.site == machine.site:
+                return component
+        return max(components) + 1
 
     @property
     def daemon_ids(self) -> List[int]:
         return sorted(self._daemons)
 
+    # -- fault injection ---------------------------------------------------
+
+    def install_faults(self, faults) -> None:
+        """Attach (or, with ``None``, detach) a link-fault injector."""
+        self.faults = faults
+
+    def note_crash(self, daemon_id: int) -> None:
+        """Mark a daemon crashed: unreachable in both directions."""
+        self._crashed.add(daemon_id)
+
+    def note_restart(self, daemon_id: int) -> None:
+        """Mark a crashed daemon as running again."""
+        self._crashed.discard(daemon_id)
+
+    @property
+    def crashed_ids(self) -> Set[int]:
+        return set(self._crashed)
+
     # -- reachability ----------------------------------------------------
 
     def reachable(self, src_id: int, dst_id: int) -> bool:
-        """True when the two daemons are in the same network component."""
+        """True when the two daemons are in the same network component
+        and neither has crashed."""
+        if src_id in self._crashed or dst_id in self._crashed:
+            return False
         return self._component_of[src_id] == self._component_of[dst_id]
 
     def component_of(self, daemon_id: int) -> Set[int]:
-        """All daemon ids in ``daemon_id``'s component."""
+        """All running daemon ids in ``daemon_id``'s component."""
+        if daemon_id in self._crashed:
+            return {daemon_id}
         mine = self._component_of[daemon_id]
-        return {d for d, c in self._component_of.items() if c == mine}
+        return {
+            d
+            for d, c in self._component_of.items()
+            if c == mine and d not in self._crashed
+        }
 
     def set_partition(
         self, components: Iterable[Iterable[int]], detection_delay_ms: float = 0.0
@@ -91,9 +156,18 @@ class Network:
         self._notify_all(detection_delay_ms)
 
     def _notify_all(self, delay_ms: float) -> None:
-        for daemon_id, daemon in self._daemons.items():
+        self.notify_peers(self._daemons, delay_ms)
+
+    def notify_peers(self, daemon_ids: Iterable[int], delay_ms: float) -> None:
+        """Deliver fresh reachability sets to the given daemons after the
+        failure-detection delay (crashed daemons are skipped)."""
+        for daemon_id in daemon_ids:
+            if daemon_id in self._crashed:
+                continue
             reachable = frozenset(self.component_of(daemon_id))
-            self.sim.schedule(delay_ms, daemon.on_reachability, reachable)
+            self.sim.schedule(
+                delay_ms, self._daemons[daemon_id].on_reachability, reachable
+            )
 
     # -- frame delivery ---------------------------------------------------
 
@@ -105,11 +179,23 @@ class Network:
         fn: Callable,
         *args: Any,
         extra_delay_ms: float = 0.0,
+        control: bool = False,
+        retry_faults: bool = False,
+        _attempt: int = 0,
     ) -> Optional[float]:
         """Deliver a frame from one daemon to another.
 
         Returns the delivery time, or None when the destination is
-        unreachable (the frame is lost).
+        unreachable or the frame fell to a link fault (the frame is
+        lost).  ``control`` marks configuration-change frames, which link
+        faults leave alone unless their policy says otherwise.
+
+        ``retry_faults`` models Totem's token-driven recovery of the
+        Agreed multicast stream: a frame lost to a link fault is re-sent
+        by the origin after the retransmission timeout, up to the
+        topology's retry cap, for as long as both ends stay reachable.
+        Frames lost to a partition or crash are never retried — that loss
+        is the configuration change's to resolve.
         """
         self.frames_sent += 1
         if not self.reachable(src_id, dst_id):
@@ -120,12 +206,49 @@ class Network:
                     "net.frames_dropped", src=f"d{src_id}", dst=f"d{dst_id}"
                 ).inc()
             return None
+        fault_delay_ms = 0.0
+        duplicate_delay_ms = None
+        if self.faults is not None and src_id != dst_id:
+            verdict = self.faults.apply(src_id, dst_id, control=control)
+            if verdict.drop:
+                self.frames_dropped += 1
+                self.fault_drops += 1
+                self.tracer.record(
+                    self.sim.now, "fault-drop", f"d{src_id}", dst=dst_id
+                )
+                if self.obs.enabled:
+                    self.obs.counter(
+                        "net.fault_drops", src=f"d{src_id}", dst=f"d{dst_id}"
+                    ).inc()
+                if (
+                    retry_faults
+                    and _attempt < self.topology.params.retransmit_retries
+                ):
+                    self.fault_retries += 1
+                    self.sim.schedule(
+                        self.topology.params.retransmit_timeout_ms,
+                        self._retry_send,
+                        src_id,
+                        dst_id,
+                        size_bytes,
+                        fn,
+                        args,
+                        control,
+                        _attempt + 1,
+                    )
+                return None
+            fault_delay_ms = verdict.extra_delay_ms
+            duplicate_delay_ms = verdict.duplicate_delay_ms
         self.bytes_sent += size_bytes
         src = self._daemons[src_id].machine
         dst = self._daemons[dst_id].machine
         latency = self.topology.one_way_ms(src, dst, size_bytes)
         latency += self.topology.params.msg_processing_ms + extra_delay_ms
+        latency += fault_delay_ms
         event = self.sim.schedule(latency, fn, *args)
+        if duplicate_delay_ms is not None:
+            self.fault_duplicates += 1
+            self.sim.schedule(latency + duplicate_delay_ms, fn, *args)
         if self.obs.enabled:
             link = dict(src=f"d{src_id}", dst=f"d{dst_id}")
             self.obs.counter("net.frames", **link).inc()
@@ -142,3 +265,17 @@ class Network:
                 bytes=size_bytes,
             )
         return event.time
+
+    def _retry_send(
+        self, src_id, dst_id, size_bytes, fn, args, control, attempt
+    ) -> None:
+        self.send(
+            src_id,
+            dst_id,
+            size_bytes,
+            fn,
+            *args,
+            control=control,
+            retry_faults=True,
+            _attempt=attempt,
+        )

@@ -40,6 +40,18 @@ class GcsParams:
     #: flow control: how many messages one daemon may sequence per token
     #: visit (Totem's per-visit window); excess waits for the next rotation
     token_window: int = 3
+    #: how long a daemon waits on a sequence gap before requesting
+    #: retransmission (Totem recovers lost frames via the token; we model
+    #: it as a NACK to a peer daemon)
+    retransmit_timeout_ms: float = 4.0
+    #: delivered messages retained per configuration to serve
+    #: retransmission requests
+    retransmit_history: int = 256
+    #: how many times the origin re-sends an Agreed frame lost to a link
+    #: fault (Totem's circulating token recovers the multicast stream for
+    #: as long as the configuration lives; the cap only bounds simulation
+    #: work on totally dead links)
+    retransmit_retries: int = 20
 
 
 @dataclass(frozen=True)

@@ -100,6 +100,43 @@ class GcsWorld:
         others = [i for i in self.daemons if i != machine_index]
         self.partition([[machine_index], others], detection_delay_ms)
 
+    def install_link_faults(self, faults) -> None:
+        """Attach a :class:`repro.faults.link.LinkFaults` injector to the
+        network (or detach it with ``None``)."""
+        self.network.install_faults(faults)
+
+    def crash_daemon(
+        self, machine_index: int, detection_delay_ms: Optional[float] = None
+    ) -> None:
+        """Crash a machine's daemon: its volatile state and clients are
+        lost, and the survivors reconfigure once their failure detectors
+        notice."""
+        delay = (
+            self.default_detection_ms()
+            if detection_delay_ms is None
+            else detection_delay_ms
+        )
+        # Capture the peer set before the network marks the daemon dead.
+        peers = self.network.component_of(machine_index) - {machine_index}
+        self.daemons[machine_index].crash()
+        self.network.note_crash(machine_index)
+        self.network.notify_peers(peers, delay)
+
+    def restart_daemon(
+        self, machine_index: int, detection_delay_ms: Optional[float] = None
+    ) -> None:
+        """Restart a crashed daemon as a singleton configuration; it then
+        merges back with its component through an ordinary heavyweight
+        membership event."""
+        delay = (
+            self.default_detection_ms()
+            if detection_delay_ms is None
+            else detection_delay_ms
+        )
+        self.network.note_restart(machine_index)
+        self.daemons[machine_index].restart()
+        self.network.notify_peers(self.network.component_of(machine_index), delay)
+
     def crash_client(self, name: str) -> None:
         """Disconnect a client process abruptly (a member crash: the
         daemon notices immediately and the group sees a leave)."""

@@ -111,6 +111,21 @@ class KeyAgreementProtocol(ABC):
     def receive(self, message: ProtocolMessage) -> List[ProtocolMessage]:
         """Process one protocol message of the current epoch, in agreed order."""
 
+    def restart(self, view: View) -> List[ProtocolMessage]:
+        """Abort a stalled run and begin anew for the same view.
+
+        Called (at every member, at the same point in the Agreed total
+        order) when the epoch watchdog declares the current rekey
+        stalled.  Any key already computed for this view is forgotten —
+        members that finished before the stall must converge on the
+        restarted run's key, not keep the old one.  The base behaviour
+        simply re-runs :meth:`start`; protocols whose long-lived state an
+        aborted run can leave inconsistent between members override this
+        to re-form from scratch.
+        """
+        self.key_epoch = None
+        return self.start(view)
+
     # -- shared helpers ---------------------------------------------------
 
     @property

@@ -72,6 +72,22 @@ class StrProtocol(KeyAgreementProtocol):
             return self._start_additive(view)
         return self._start_subtractive(view)
 
+    def restart(self, view: View) -> List[ProtocolMessage]:
+        # An aborted run can leave stacks half-stacked (some members
+        # merged the component stacks, others did not), and a re-run of
+        # the additive path would read blinded node keys that were
+        # trimmed away.  Re-form from singletons: every member sponsors
+        # its own one-member stack and the merge machinery rebuilds the
+        # group stack deterministically.
+        self.key_epoch = None
+        self._session = self.ctx.random_exponent(self.rng)
+        blinded = self.ctx.exp_g(self._session)
+        self._order = [self.member]
+        self._br = {self.member: blinded}
+        self._bk = {1: blinded}
+        self._keys = {1: self._session}
+        return self.start(view)
+
     def _bootstrap(self) -> List[ProtocolMessage]:
         self._session = self.ctx.random_exponent(self.rng)
         blinded = self.ctx.exp_g(self._session)
@@ -116,7 +132,12 @@ class StrProtocol(KeyAgreementProtocol):
         if self._order[-1] == self.member:
             # Component sponsor (topmost member): refresh the session
             # random, recompute the top key, broadcast the component tree.
-            self._refresh_top()
+            if not self._refresh_top():
+                # A cascade superseded the epoch whose broadcast would
+                # have published the chain below us; the component cannot
+                # be extended.  Stay silent — coverage never completes
+                # and the stall watchdog re-forms from singleton stacks.
+                return messages
             component = {
                 "order": list(self._order),
                 "br": dict(self._br),
@@ -133,21 +154,36 @@ class StrProtocol(KeyAgreementProtocol):
             messages.extend(self._maybe_stack())
         return messages
 
-    def _refresh_top(self) -> None:
-        """Round 1: the component sponsor refreshes its session random."""
+    def _refresh_top(self) -> bool:
+        """Round 1: the component sponsor refreshes its session random.
+
+        Returns False when the top key is uncomputable because a cascaded
+        event trimmed the stack and superseded the epoch that would have
+        re-published the blinded keys below us.
+        """
         position = len(self._order)
         self._session = self.ctx.random_exponent(self.rng)
         self._br[self.member] = self.ctx.exp_g(self._session)
         if position == 1:
             top_key = self._session
             self._bk[1] = self._br[self.member]
-        else:
+        elif (position - 1) in self._bk:
             top_key = self.ctx.exp(self._bk[position - 1], self._session)
             self._bk[position] = self.ctx.exp_g(top_key % self.group.q)
+        elif (position - 1) in self._keys:
+            # k_p = g^{r_p · k_{p-1}} works from either factor; fall back
+            # to our cached node key when bk_{p-1} was never published.
+            top_key = self.ctx.exp(
+                self._br[self.member], self._keys[position - 1] % self.group.q
+            )
+            self._bk[position] = self.ctx.exp_g(top_key % self.group.q)
+        else:
+            return False
         self._keys = {
             pos: key for pos, key in self._keys.items() if pos < position
         }
         self._keys[position] = top_key
+        return True
 
     def _register_component(self, component: dict) -> None:
         self._covered.update(component["order"])

@@ -80,6 +80,16 @@ class TgdhProtocol(KeyAgreementProtocol):
             return self._start_additive(view)
         return self._start_subtractive(view)
 
+    def restart(self, view: View) -> List[ProtocolMessage]:
+        # An aborted run can leave component trees half-merged, and
+        # *differently* so at different members.  Re-form from singleton
+        # leaves: every member sponsors itself and the n-way merge
+        # machinery reassembles the group tree deterministically.
+        self.key_epoch = None
+        self._session = self.ctx.random_exponent(self.rng)
+        self._tree = KeyTree.singleton(self.member, key=self._session)
+        return self.start(view)
+
     def _bootstrap(self) -> List[ProtocolMessage]:
         self._session = self.ctx.random_exponent(self.rng)
         self._tree = KeyTree.singleton(self.member, key=self._session)

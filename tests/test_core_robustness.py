@@ -9,6 +9,7 @@ import pytest
 
 from repro.core import SecureSpreadFramework
 from repro.core.secure_group import _CIPHER_HISTORY
+from repro.gcs.messages import View, ViewEvent
 from repro.gcs.topology import lan_testbed, wan_testbed
 from repro.protocols import PROTOCOLS
 
@@ -234,3 +235,56 @@ def test_three_way_partition_and_simultaneous_heal(protocol):
     merged = {m.key_bytes for m in members}
     assert len(merged) == 1, protocol
     assert merged.pop() not in side_keys
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_deferred_view_superseded_by_cascade_before_flush(protocol):
+    """With ``defer_rekey`` set, each new view replaces the stashed one;
+    a flush after a cascade must key the *latest* membership, not the
+    view that was current when deferral began."""
+    fw = _framework(protocol)
+    members = _settled_group(fw, 3)
+    joiners = [fw.member(f"j{i}", 3 + i) for i in range(2)]
+    everyone = members + joiners
+    for member in everyone:
+        member.defer_rekey = True
+    joiners[0].join()
+    fw.run_until_idle()
+    first_stash = members[0]._deferred_view
+    joiners[1].join()  # cascaded view supersedes the stashed one
+    fw.run_until_idle()
+    final_stash = members[0]._deferred_view
+    assert first_stash is not None and final_stash is not None
+    assert final_stash.view_id > first_stash.view_id
+    assert set(final_stash.members) == {m.name for m in everyone}
+    # No rekey ran while deferred: the old 3-member key is still current.
+    assert members[0].protocol.view.members == tuple(
+        m.name for m in members
+    )
+    # Flush with the synthetic merge view the batched-growth path builds:
+    # the raw stash's ``joined`` names only the last cascade step, but the
+    # base stacks/trees cover none of the newcomers.
+    joined = tuple(
+        name
+        for name in final_stash.members
+        if name not in {m.name for m in members}
+    )
+    rekey_view = View(
+        view_id=final_stash.view_id,
+        group=final_stash.group,
+        members=final_stash.members,
+        event=ViewEvent.MERGE,
+        joined=joined,
+        left=(),
+    )
+    for member in everyone:
+        member.defer_rekey = False
+        member._deferred_view = None
+    for member in everyone:
+        member.flush_deferred(rekey_view)
+    fw.run_until_idle()
+    keys = {m.key_bytes for m in everyone}
+    assert len(keys) == 1 and keys.pop() is not None
+    for member in everyone:
+        assert member.protocol.view.view_id == final_stash.view_id
+        assert member.protocol.done_for(member.protocol.view)
