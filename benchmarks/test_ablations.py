@@ -16,13 +16,12 @@ simulation:
   free links shows how much of the WAN cost is ordering latency.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.bench.harness import measure_event
 from repro.crypto.costmodel import expensive_signatures, free_crypto
 from repro.core import SecureSpreadFramework
-from repro.gcs.topology import GcsParams, Topology, lan_testbed, wan_testbed
+from repro.gcs.topology import Topology, lan_testbed, wan_testbed
 from repro.sim.cpu import Machine
 
 N = 20

@@ -7,7 +7,6 @@ costs 1-3 ms; and the per-operation cryptographic costs on the 666 MHz
 PIII platform (RSA-1024 sign/verify, 512/1024-bit modular exponentiation).
 """
 
-import pytest
 
 from conftest import run_once
 from repro.crypto.costmodel import pentium3_666

@@ -6,7 +6,6 @@ costs over a second; the membership service costs 400-700 ms for a join
 and several hundred ms for a leave.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.gcs import GcsWorld, wan_testbed

@@ -5,7 +5,6 @@ formulas against instrumented protocol runs (the same cross-check the
 unit-test suite performs, here at the table's presentation sizes).
 """
 
-import pytest
 
 from conftest import run_once
 from repro.analysis.costs import conceptual_cost

@@ -1,7 +1,13 @@
-"""``python -m repro.bench`` — see :mod:`repro.bench.cli`."""
+"""``python -m repro.bench`` — see :mod:`repro.bench.cli`.
+
+The ``__name__`` guard matters: spawn-started worker processes of the
+experiment pool import this module under a different name, and must not
+re-enter the CLI.
+"""
 
 import sys
 
 from repro.bench.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,9 +31,11 @@ from dataclasses import dataclass, fields
 from typing import Callable, List, Optional, Sequence
 
 from repro.bench.harness import grow_group
+from repro.bench.pool import Cell, register_runner, run_cells
 from repro.core.framework import SecureSpreadFramework
 from repro.faults import LinkFaults
 from repro.gcs.topology import TESTBEDS
+from repro.obs.metrics import MetricsRegistry
 
 #: Drop rates swept by default.  0.0 is the inertness control.
 CHAOS_DROP_RATES = (0.0, 0.05, 0.15)
@@ -104,6 +106,153 @@ def _converged_key(framework: SecureSpreadFramework, members) -> Optional[tuple]
     return (view_id, keys.pop())
 
 
+@register_runner("chaos")
+def run_chaos_cell(
+    spec: dict, metrics: Optional[MetricsRegistry] = None
+) -> dict:
+    """One (protocol, drop-rate) cell: ``repeats`` independent samples.
+
+    Every sample runs on a fresh framework seeded ``seed + sample_index``
+    so the cell is deterministic in isolation (same protocol, rate, and
+    sample seed ⇒ identical run).  Returns
+    ``{"cell": ChaosCell dict, "trace_events": [...] | None}`` — JSON-
+    ready, so the cell can cross process boundaries and live in the
+    result cache.
+    """
+    registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+    protocol = spec["protocol"]
+    rate = float(spec["drop_rate"])
+    group_size = int(spec.get("group_size", 6))
+    topology = spec.get("topology", "lan")
+    repeats = int(spec.get("repeats", 2))
+    seed = int(spec.get("seed", 0))
+    engine = spec.get("engine", "symbolic")
+    stall_timeout_ms = float(
+        spec.get("stall_timeout_ms", CHAOS_STALL_TIMEOUT_MS)
+    )
+    max_events = int(spec.get("max_events", CHAOS_MAX_EVENTS))
+    trace = bool(spec.get("trace", False))
+    trace_events: Optional[List[dict]] = [] if trace else None
+    converged = 0
+    stalls = restarts = fault_drops = fault_retries = 0
+    times: List[float] = []
+    engine_name = str(engine)
+    for sample in range(repeats):
+        sample_seed = seed + sample
+        framework = SecureSpreadFramework(
+            TESTBEDS[topology](),
+            default_protocol=protocol,
+            dh_group=spec.get("dh_group", "dh-512"),
+            seed=sample_seed,
+            engine=engine,
+            stall_timeout_ms=stall_timeout_ms,
+            trace=trace,
+        )
+        engine_name = framework.engine.name
+        members = grow_group(framework, group_size)
+        if rate > 0.0:
+            framework.world.install_link_faults(
+                LinkFaults.uniform(seed=sample_seed, drop=rate)
+            )
+        joiner = framework.member(
+            "x1", group_size % len(framework.world.topology.machines)
+        )
+        framework.mark_event()
+        joiner.join()
+        try:
+            framework.run_until_idle(max_events=max_events)
+        except RuntimeError:
+            # Livelock guard tripped: count the sample as failed
+            # but keep the sweep going.
+            pass
+        outcome = _converged_key(framework, members + [joiner])
+        if outcome is not None:
+            converged += 1
+            view_id, _key = outcome
+            record = framework.timeline.epochs.get(view_id)
+            if record is not None and record.complete():
+                times.append(record.total_elapsed())
+        stalls += framework.rekey_stalls
+        restarts += framework.rekey_restarts
+        fault_drops += framework.world.network.fault_drops
+        fault_retries += framework.world.network.fault_retries
+        if trace_events is not None:
+            for event in framework.world.tracer.events:
+                trace_events.append({
+                    "protocol": protocol,
+                    "drop_rate": rate,
+                    "sample": sample,
+                    "time": event.time,
+                    "category": event.category,
+                    "actor": event.actor,
+                    "detail": event.detail,
+                })
+    cell = ChaosCell(
+        protocol=protocol,
+        drop_rate=rate,
+        group_size=group_size,
+        topology=topology,
+        samples=repeats,
+        converged=converged,
+        stalls=stalls,
+        restarts=restarts,
+        fault_drops=fault_drops,
+        fault_retries=fault_retries,
+        time_to_key_ms=sum(times) / len(times) if times else None,
+        engine=engine_name,
+    )
+    registry.histogram(
+        "bench.cell.sim_ms", kind="chaos", protocol=protocol
+    ).observe(sum(times))
+    return {"cell": cell.to_dict(), "trace_events": trace_events}
+
+
+def _chaos_summary(result: dict) -> str:
+    cell = ChaosCell.from_dict(result["cell"])
+    line = (
+        f"{cell.protocol} drop={cell.drop_rate:.2f}: "
+        f"{cell.converged}/{cell.samples} converged, "
+        f"{cell.restarts} restarts"
+    )
+    if cell.time_to_key_ms is not None:
+        line += f", {cell.time_to_key_ms:.1f} ms to key"
+    return line
+
+
+def chaos_cells_grid(
+    protocols: Sequence[str],
+    drop_rates: Sequence[float],
+    group_size: int = 6,
+    topology: str = "lan",
+    dh_group: str = "dh-512",
+    engine="symbolic",
+    repeats: int = 2,
+    seed: int = 0,
+    stall_timeout_ms: float = CHAOS_STALL_TIMEOUT_MS,
+    max_events: int = CHAOS_MAX_EVENTS,
+    trace: bool = False,
+) -> List[Cell]:
+    """The sweep's cell grid, protocol-major with rates in given order."""
+    cells: List[Cell] = []
+    for protocol in protocols:
+        for rate in drop_rates:
+            spec = {
+                "protocol": protocol,
+                "drop_rate": rate,
+                "group_size": group_size,
+                "topology": topology,
+                "dh_group": dh_group,
+                "engine": engine,
+                "repeats": repeats,
+                "seed": seed,
+                "stall_timeout_ms": stall_timeout_ms,
+                "max_events": max_events,
+                "trace": trace,
+            }
+            cells.append(Cell("chaos", spec, summarize=_chaos_summary))
+    return cells
+
+
 def run_chaos(
     protocols: Sequence[str] = CHAOS_PROTOCOLS,
     drop_rates: Sequence[float] = CHAOS_DROP_RATES,
@@ -117,101 +266,53 @@ def run_chaos(
     max_events: int = CHAOS_MAX_EVENTS,
     progress: Optional[Callable[[str], None]] = None,
     trace_events: Optional[List[dict]] = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[ChaosCell]:
     """Sweep drop rates × protocols; one :class:`ChaosCell` per pair.
 
-    Every sample runs on a fresh framework seeded ``seed + sample_index``
-    so the whole sweep is deterministic and any cell can be re-run in
-    isolation (same protocol, rate, and sample seed ⇒ identical run).
+    Cells shard over ``jobs`` worker processes and merge in grid order
+    (protocol-major, rates in given order) regardless of completion
+    order; with ``cache_dir`` set, unchanged cells are served from the
+    content-addressed cache.  An engine *instance* (rather than a name)
+    forces the inline uncached path.  Trace events are collected inside
+    each cell and appended in grid order, so tracing parallelizes too.
 
     Pass a list as ``trace_events`` to run with the flat GCS tracer on;
     every sample's events are appended to it as dicts labeled with the
     (protocol, drop rate, sample) cell coordinates.
     """
-    say = progress or (lambda _line: None)
-    cells: List[ChaosCell] = []
-    for protocol in protocols:
-        for rate in drop_rates:
-            converged = 0
-            stalls = restarts = fault_drops = fault_retries = 0
-            times: List[float] = []
-            engine_name = str(engine)
-            for sample in range(repeats):
-                sample_seed = seed + sample
-                framework = SecureSpreadFramework(
-                    TESTBEDS[topology](),
-                    default_protocol=protocol,
-                    dh_group=dh_group,
-                    seed=sample_seed,
-                    engine=engine,
-                    stall_timeout_ms=stall_timeout_ms,
-                    trace=trace_events is not None,
-                )
-                engine_name = framework.engine.name
-                members = grow_group(framework, group_size)
-                if rate > 0.0:
-                    framework.world.install_link_faults(
-                        LinkFaults.uniform(seed=sample_seed, drop=rate)
-                    )
-                joiner = framework.member(
-                    "x1", group_size % len(framework.world.topology.machines)
-                )
-                framework.mark_event()
-                joiner.join()
-                try:
-                    framework.run_until_idle(max_events=max_events)
-                except RuntimeError:
-                    # Livelock guard tripped: count the sample as failed
-                    # but keep the sweep going.
-                    pass
-                outcome = _converged_key(framework, members + [joiner])
-                if outcome is not None:
-                    converged += 1
-                    view_id, _key = outcome
-                    record = framework.timeline.epochs.get(view_id)
-                    if record is not None and record.complete():
-                        times.append(record.total_elapsed())
-                stalls += framework.rekey_stalls
-                restarts += framework.rekey_restarts
-                fault_drops += framework.world.network.fault_drops
-                fault_retries += framework.world.network.fault_retries
-                if trace_events is not None:
-                    for event in framework.world.tracer.events:
-                        trace_events.append({
-                            "protocol": protocol,
-                            "drop_rate": rate,
-                            "sample": sample,
-                            "time": event.time,
-                            "category": event.category,
-                            "actor": event.actor,
-                            "detail": event.detail,
-                        })
-            cell = ChaosCell(
-                protocol=protocol,
-                drop_rate=rate,
-                group_size=group_size,
-                topology=topology,
-                samples=repeats,
-                converged=converged,
-                stalls=stalls,
-                restarts=restarts,
-                fault_drops=fault_drops,
-                fault_retries=fault_retries,
-                time_to_key_ms=sum(times) / len(times) if times else None,
-                engine=engine_name,
-            )
-            cells.append(cell)
-            say(
-                f"{protocol} drop={rate:.2f}: "
-                f"{cell.converged}/{cell.samples} converged, "
-                f"{cell.restarts} restarts"
-                + (
-                    f", {cell.time_to_key_ms:.1f} ms to key"
-                    if cell.time_to_key_ms is not None
-                    else ""
-                )
-            )
-    return cells
+    if not (engine is None or isinstance(engine, str)):
+        jobs, cache_dir, use_cache = 1, None, False
+    cells = chaos_cells_grid(
+        protocols,
+        drop_rates,
+        group_size=group_size,
+        topology=topology,
+        dh_group=dh_group,
+        engine=engine,
+        repeats=repeats,
+        seed=seed,
+        stall_timeout_ms=stall_timeout_ms,
+        max_events=max_events,
+        trace=trace_events is not None,
+    )
+    results = run_cells(
+        cells,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        metrics=metrics,
+        progress=progress,
+    )
+    out: List[ChaosCell] = []
+    for result in results:
+        out.append(ChaosCell.from_dict(result["cell"]))
+        if trace_events is not None and result.get("trace_events"):
+            trace_events.extend(result["trace_events"])
+    return out
 
 
 def chaos_payload(cells: Sequence[ChaosCell], **meta) -> dict:

@@ -13,8 +13,17 @@ One subcommand per job, all sharing the same core options
     python -m repro.bench report --protocol BD --size 13 --event leave
     python -m repro.bench scale                  # join/leave up to n=1024
     python -m repro.bench scale --sizes 32 128 512 --protocols TGDH STR
+    python -m repro.bench scale --jobs 4         # shard cells over 4 workers
     python -m repro.bench chaos                  # rekeying under link faults
     python -m repro.bench chaos --drops 0 0.05 0.2 --size 8
+    python -m repro.bench compare OLD.json NEW.json   # exact regression gate
+
+The grid-shaped subcommands (``figure``, ``scale``, ``chaos``) all take
+``--jobs N`` (worker processes, default: every CPU), ``--cache-dir``
+and ``--no-cache``: cells shard across workers and merge
+deterministically, and previously computed cells are served from a
+content-addressed on-disk cache keyed by the cell spec, the seed and a
+fingerprint of the ``src/repro`` tree (see :mod:`repro.bench.pool`).
 
 The original flag spelling (``--figure 11``, ``--table 1``) keeps
 working and takes the same sweep options it always did.
@@ -36,8 +45,10 @@ from repro.bench.chaos import (
     run_chaos,
     write_chaos_json,
 )
+from repro.bench.compare import compare_files
 from repro.bench.harness import _fresh_framework, grow_group
 from repro.bench.plot import render_plot
+from repro.bench.pool import DEFAULT_CACHE_DIR, pool_stats
 from repro.bench.report import render_series, series_to_csv
 from repro.bench.scale import (
     SCALE_SIZES,
@@ -45,34 +56,37 @@ from repro.bench.scale import (
     run_scale,
     write_scale_json,
 )
-from repro.bench.series import DEFAULT_SIZES, sweep_group_sizes
-from repro.gcs.topology import TESTBEDS, lan_testbed, medium_wan_testbed, wan_testbed
-from repro.obs import render_report, validate_chrome_trace
+from repro.bench.series import (
+    DEFAULT_SIZES,
+    sweep_group_sizes_parallel,
+)
+from repro.gcs.topology import TESTBEDS
+from repro.obs import MetricsRegistry, render_report, validate_chrome_trace
 
 PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
 
 TOPOLOGIES = TESTBEDS
 
 #: The subcommand surface (a leading ``--`` selects the legacy flags).
-SUBCOMMANDS = ("figure", "table", "trace", "report", "scale", "chaos")
+SUBCOMMANDS = ("figure", "table", "trace", "report", "scale", "chaos", "compare")
 
-#: figure number -> list of (title, testbed factory, event, dh group)
+#: figure number -> list of (title, testbed name, event, dh group)
 FIGURES = {
     "11": [
-        ("Figure 11 (left): Join - DH 512 (LAN)", lan_testbed, "join", "dh-512"),
-        ("Figure 11 (right): Join - DH 1024 (LAN)", lan_testbed, "join", "dh-1024"),
+        ("Figure 11 (left): Join - DH 512 (LAN)", "lan", "join", "dh-512"),
+        ("Figure 11 (right): Join - DH 1024 (LAN)", "lan", "join", "dh-1024"),
     ],
     "12": [
-        ("Figure 12 (left): Leave - DH 512 (LAN)", lan_testbed, "leave", "dh-512"),
-        ("Figure 12 (right): Leave - DH 1024 (LAN)", lan_testbed, "leave", "dh-1024"),
+        ("Figure 12 (left): Leave - DH 512 (LAN)", "lan", "leave", "dh-512"),
+        ("Figure 12 (right): Leave - DH 1024 (LAN)", "lan", "leave", "dh-1024"),
     ],
     "14": [
-        ("Figure 14 (left): Join - DH 512 (WAN)", wan_testbed, "join", "dh-512"),
-        ("Figure 14 (right): Leave - DH 512 (WAN)", wan_testbed, "leave", "dh-512"),
+        ("Figure 14 (left): Join - DH 512 (WAN)", "wan", "join", "dh-512"),
+        ("Figure 14 (right): Leave - DH 512 (WAN)", "wan", "leave", "dh-512"),
     ],
     "medium-wan": [
-        ("Future work: Join (70ms RTT WAN)", medium_wan_testbed, "join", "dh-512"),
-        ("Future work: Leave (70ms RTT WAN)", medium_wan_testbed, "leave", "dh-512"),
+        ("Future work: Join (70ms RTT WAN)", "medium-wan", "join", "dh-512"),
+        ("Future work: Leave (70ms RTT WAN)", "medium-wan", "leave", "dh-512"),
     ],
 }
 
@@ -174,6 +188,23 @@ def _add_testbed_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_pool_options(parser: argparse.ArgumentParser) -> None:
+    """Sharding/caching flags shared by the grid-shaped subcommands."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for grid cells (default: every CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="content-addressed result cache directory "
+        f"(default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", dest="use_cache", action="store_false",
+        help="always execute every cell (skip cache reads and writes)",
+    )
+
+
 def build_subcommand_parser() -> argparse.ArgumentParser:
     """The unified subcommand interface.
 
@@ -198,6 +229,7 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "number", choices=sorted(FIGURES), help="figure to regenerate"
     )
     _add_figure_options(figure)
+    _add_pool_options(figure)
 
     table = sub.add_parser(
         "table", parents=[build_common_parser()], help="print a paper table"
@@ -239,6 +271,7 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--repeats", type=int, default=1, help="events averaged per size"
     )
+    _add_pool_options(scale)
     scale.set_defaults(engine="symbolic", out="BENCH_scale.json")
 
     chaos = sub.add_parser(
@@ -268,7 +301,25 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         help="epoch watchdog timeout in virtual ms "
         f"(default {CHAOS_STALL_TIMEOUT_MS:g})",
     )
+    _add_pool_options(chaos)
     chaos.set_defaults(engine="symbolic", out="BENCH_chaos.json")
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two benchmark JSON artifacts cell-by-cell; exits "
+        "nonzero on any drift (exact match by default — the simulator "
+        "is deterministic)",
+    )
+    compare.add_argument("old", metavar="OLD.json", help="baseline artifact")
+    compare.add_argument("new", metavar="NEW.json", help="candidate artifact")
+    compare.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="ABS",
+        help="absolute tolerance per numeric field (default 0: exact)",
+    )
+    compare.add_argument(
+        "--relative", type=float, default=0.0, metavar="REL",
+        help="relative tolerance per numeric field (default 0: exact)",
+    )
 
     return parser
 
@@ -287,11 +338,35 @@ def _emit(args, lines: List[str]) -> None:
         print(f"\nwrote {args.out}")
 
 
+def _pool_kwargs(args) -> dict:
+    """The pool arguments of a parsed command line.
+
+    The legacy ``--figure N`` parser has no pool flags; it runs inline
+    and uncached, exactly as it always did.
+    """
+    return {
+        "jobs": getattr(args, "jobs", 1),
+        "cache_dir": getattr(args, "cache_dir", None),
+        "use_cache": getattr(args, "use_cache", False),
+    }
+
+
+def _print_pool_stats(metrics: MetricsRegistry) -> None:
+    stats = pool_stats(metrics)
+    if stats["cells"]:
+        print(
+            f"cells: {stats['cells']} "
+            f"({stats['cache_hits']} cache hits, "
+            f"{stats['executed']} executed)"
+        )
+
+
 def run_figures(args, figure: str, engine=None) -> int:
     lines: List[str] = []
-    for title, testbed, event, dh_group in FIGURES[figure]:
-        series = sweep_group_sizes(
-            testbed,
+    metrics = MetricsRegistry(enabled=True)
+    for title, topology, event, dh_group in FIGURES[figure]:
+        series = sweep_group_sizes_parallel(
+            topology,
             args.protocols,
             event,
             dh_group=dh_group,
@@ -300,6 +375,9 @@ def run_figures(args, figure: str, engine=None) -> int:
             seed=args.seed,
             name=title,
             engine=engine,
+            metrics=metrics,
+            progress=lambda line: print(f"  {line}", flush=True),
+            **_pool_kwargs(args),
         )
         lines.append(render_series(series, title))
         lines.append("")
@@ -312,6 +390,7 @@ def run_figures(args, figure: str, engine=None) -> int:
             series_to_csv(series, path)
             lines.append(f"  wrote {path}\n")
     _emit(args, lines)
+    _print_pool_stats(metrics)
     return 0
 
 
@@ -321,6 +400,7 @@ def run_table(args) -> int:
 
 
 def run_scale_command(args) -> int:
+    metrics = MetricsRegistry(enabled=True)
     measurements = run_scale(
         protocols=args.protocols,
         sizes=args.sizes,
@@ -330,6 +410,8 @@ def run_scale_command(args) -> int:
         repeats=args.repeats,
         seed=args.seed,
         progress=lambda line: print(f"  {line}", flush=True),
+        metrics=metrics,
+        **_pool_kwargs(args),
     )
     write_scale_json(
         args.out,
@@ -345,11 +427,13 @@ def run_scale_command(args) -> int:
     print()
     print(render_scale_table(measurements))
     print(f"\nwrote {args.out}: {len(measurements)} measurements")
+    _print_pool_stats(metrics)
     return 0
 
 
 def run_chaos_command(args) -> int:
     trace_events: Optional[List[dict]] = [] if args.trace_log else None
+    metrics = MetricsRegistry(enabled=True)
     cells = run_chaos(
         protocols=args.protocols,
         drop_rates=args.drops,
@@ -362,6 +446,8 @@ def run_chaos_command(args) -> int:
         stall_timeout_ms=args.stall_timeout_ms,
         progress=lambda line: print(f"  {line}", flush=True),
         trace_events=trace_events,
+        metrics=metrics,
+        **_pool_kwargs(args),
     )
     write_chaos_json(
         args.out,
@@ -388,6 +474,36 @@ def run_chaos_command(args) -> int:
                 handle.write(json.dumps(event, sort_keys=True, default=str))
                 handle.write("\n")
         print(f"wrote {args.trace_log}: {len(trace_events)} trace events")
+    _print_pool_stats(metrics)
+    if converged < samples:
+        # The chaos acceptance bar is full convergence (the watchdog is
+        # supposed to recover every rekey); a sweep below it is a failure,
+        # not a statistic to print and forget.
+        print(
+            f"error: {samples - converged} of {samples} samples did not "
+            "converge on a shared key",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def run_compare_command(args) -> int:
+    drifts = compare_files(
+        args.old, args.new,
+        tolerance=args.tolerance, relative=args.relative,
+    )
+    if drifts:
+        print(f"DRIFT: {args.new} diverges from {args.old}:")
+        for line in drifts:
+            print(f"  {line}")
+        print(
+            f"{len(drifts)} drifting field(s); the simulator is "
+            "deterministic, so this is a behavioral change — refresh the "
+            "baseline only if it is intended"
+        )
+        return 1
+    print(f"OK: {args.new} matches {args.old}")
     return 0
 
 
@@ -464,19 +580,31 @@ def run_subcommand(argv: Sequence[str]) -> int:
         return run_report_command(args)
     if args.command == "scale":
         return run_scale_command(args)
+    if args.command == "compare":
+        return run_compare_command(args)
     return run_chaos_command(args)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code.
+
+    Every failure — an unreadable artifact, a malformed trace, a sweep
+    that trips the livelock guard — exits nonzero with a one-line error
+    instead of a traceback, so shell pipelines and CI can gate on it.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] in SUBCOMMANDS:
-        return run_subcommand(argv)
-    args = build_parser().parse_args(argv)
-    if args.table == "1":
+    try:
+        if argv and argv[0] in SUBCOMMANDS:
+            return run_subcommand(argv)
+        args = build_parser().parse_args(argv)
+        if args.table == "1":
+            args.out = None
+            return run_table(args)
         args.out = None
-        return run_table(args)
-    args.out = None
-    return run_figures(args, args.figure, engine=None)
+        return run_figures(args, args.figure, engine=None)
+    except (OSError, ValueError, KeyError, RuntimeError, AssertionError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -20,7 +20,7 @@ from dataclasses import dataclass, fields
 from typing import Callable, List, Optional, Union
 
 from repro.core.framework import SecureSpreadFramework
-from repro.crypto.engine import CryptoEngine, get_engine
+from repro.crypto.engine import CryptoEngine
 from repro.gcs.messages import View, ViewEvent
 from repro.gcs.topology import TESTBEDS, Topology
 from repro.obs.report import epoch_breakdown
@@ -91,6 +91,12 @@ class EventMeasurement:
     measurement ran with ``breakdown=True``.  When present,
     ``membership_ms + communication_ms + computation_ms == total_ms``
     (each sample reconciles exactly; averaging preserves the identity).
+
+    ``ops`` optionally carries the summed operation-ledger charges of
+    the measured event(s) — exponentiations, multiplications, signatures,
+    verifications across all members, totalled over the samples.  The
+    counts are exact integers (never averaged) so regression gating can
+    compare them bit-for-bit; the scale benchmark fills them in.
     """
 
     protocol: str
@@ -104,6 +110,7 @@ class EventMeasurement:
     communication_ms: Optional[float] = None
     computation_ms: Optional[float] = None
     engine: str = "real"
+    ops: Optional[dict] = None
 
     @property
     def key_agreement_ms(self) -> float:

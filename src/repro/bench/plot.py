@@ -7,7 +7,7 @@ axes as the paper (group size vs total elapsed milliseconds).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.bench.series import FigureSeries
 

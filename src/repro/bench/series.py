@@ -15,7 +15,7 @@ the curves are assembled from the measurements by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.harness import (
     EventMeasurement,
@@ -23,7 +23,9 @@ from repro.bench.harness import (
     _measure_leave,
     grow_group,
 )
-from repro.gcs.topology import Topology
+from repro.bench.pool import Cell, register_runner, run_cells
+from repro.gcs.topology import TESTBEDS, Topology
+from repro.obs.metrics import MetricsRegistry
 
 #: The default group sizes sampled along the paper's 0-50 member x-axis.
 DEFAULT_SIZES = (2, 4, 8, 13, 20, 26, 33, 40, 50)
@@ -128,6 +130,101 @@ class FigureSeries:
         return None
 
 
+def measure_protocol_curve(
+    topology_factory: Callable[[], Topology],
+    protocol: str,
+    event: str,
+    dh_group: str = "dh-512",
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 2,
+    seed: int = 0,
+    engine=None,
+) -> List[EventMeasurement]:
+    """One protocol's elapsed-time curve over group sizes.
+
+    The group is grown incrementally on a single framework; at each
+    sampled size the event is applied ``repeats`` times (size-restoring)
+    and the total elapsed times averaged — exactly the paper's
+    measurement loop.  This is the figure sweeps' unit of parallel work:
+    curves for different protocols are independent, but the sizes within
+    one curve share framework state and must stay sequential.
+    """
+    if event not in ("join", "leave"):
+        raise ValueError("event must be 'join' or 'leave'")
+    sizes = sorted(set(sizes))
+    measurements: List[EventMeasurement] = []
+    framework = _fresh_framework(
+        topology_factory, protocol, dh_group, seed, engine=engine
+    )
+    members: List = []
+    extra = 0
+    for size in sizes:
+        members += grow_group(framework, size, start=len(members))
+        totals, memberships = [], []
+        for _ in range(repeats):
+            if event == "join":
+                extra += 1
+                joiner = framework.member(
+                    f"x{extra}",
+                    (size + extra) % len(framework.world.topology.machines),
+                )
+                framework.mark_event()
+                joiner.join()
+                framework.run_until_idle()
+                record = framework.timeline.latest_complete()
+                totals.append(record.total_elapsed())
+                memberships.append(record.membership_elapsed())
+                joiner.leave()
+                framework.run_until_idle()
+            else:
+                total, membership, _, _ = _measure_leave(
+                    framework, members, protocol
+                )
+                totals.append(total)
+                memberships.append(membership)
+        measurements.append(
+            EventMeasurement(
+                protocol=protocol,
+                event=event,
+                group_size=size,
+                dh_group=dh_group,
+                topology=framework.world.topology.name,
+                total_ms=sum(totals) / len(totals),
+                membership_ms=sum(memberships) / len(memberships),
+                samples=repeats,
+                engine=framework.engine.name,
+            )
+        )
+    return measurements
+
+
+@register_runner("figure")
+def run_figure_cell(
+    spec: dict, metrics: Optional[MetricsRegistry] = None
+) -> dict:
+    """One figure cell: a single protocol's full size sweep.
+
+    ``spec["topology"]`` must be a testbed *name* so the cell can be
+    hashed and shipped to worker processes.  Returns
+    ``{"measurements": [EventMeasurement dict, ...]}`` in size order.
+    """
+    registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+    measurements = measure_protocol_curve(
+        TESTBEDS[spec["topology"]],
+        spec["protocol"],
+        spec["event"],
+        dh_group=spec.get("dh_group", "dh-512"),
+        sizes=list(spec.get("sizes", DEFAULT_SIZES)),
+        repeats=int(spec.get("repeats", 2)),
+        seed=int(spec.get("seed", 0)),
+        engine=spec.get("engine"),
+    )
+    registry.histogram(
+        "bench.cell.sim_ms", kind="figure", protocol=spec["protocol"]
+    ).observe(sum(m.total_ms for m in measurements))
+    return {"measurements": [m.to_dict() for m in measurements]}
+
+
 def sweep_group_sizes(
     topology_factory: Callable[[], Topology],
     protocols: Sequence[str],
@@ -141,57 +238,119 @@ def sweep_group_sizes(
 ) -> FigureSeries:
     """Measure ``event`` for every protocol across group sizes.
 
-    For each protocol the group is grown incrementally; at each sampled
-    size the event is applied ``repeats`` times (size-restoring) and the
-    total elapsed times averaged.
+    Sequential reference path: one protocol curve after another in the
+    calling process (see :func:`sweep_group_sizes_parallel` for the
+    pooled equivalent keyed by testbed name).
     """
     if event not in ("join", "leave"):
         raise ValueError("event must be 'join' or 'leave'")
     sizes = sorted(set(sizes))
     measurements: List[EventMeasurement] = []
     for protocol in protocols:
-        framework = _fresh_framework(
-            topology_factory, protocol, dh_group, seed, engine=engine
-        )
-        members: List = []
-        extra = 0
-        for size in sizes:
-            members += grow_group(framework, size, start=len(members))
-            totals, memberships = [], []
-            for _ in range(repeats):
-                if event == "join":
-                    extra += 1
-                    joiner = framework.member(
-                        f"x{extra}",
-                        (size + extra) % len(framework.world.topology.machines),
-                    )
-                    framework.mark_event()
-                    joiner.join()
-                    framework.run_until_idle()
-                    record = framework.timeline.latest_complete()
-                    totals.append(record.total_elapsed())
-                    memberships.append(record.membership_elapsed())
-                    joiner.leave()
-                    framework.run_until_idle()
-                else:
-                    total, membership, _, _ = _measure_leave(
-                        framework, members, protocol
-                    )
-                    totals.append(total)
-                    memberships.append(membership)
-            measurements.append(
-                EventMeasurement(
-                    protocol=protocol,
-                    event=event,
-                    group_size=size,
-                    dh_group=dh_group,
-                    topology=framework.world.topology.name,
-                    total_ms=sum(totals) / len(totals),
-                    membership_ms=sum(memberships) / len(memberships),
-                    samples=repeats,
-                    engine=framework.engine.name,
-                )
+        measurements.extend(
+            measure_protocol_curve(
+                topology_factory,
+                protocol,
+                event,
+                dh_group=dh_group,
+                sizes=sizes,
+                repeats=repeats,
+                seed=seed,
+                engine=engine,
             )
+        )
+    return FigureSeries.from_measurements(
+        name or f"{event}-{dh_group}", measurements, sizes
+    )
+
+
+def figure_cells(
+    topology: str,
+    protocols: Sequence[str],
+    event: str,
+    dh_group: str = "dh-512",
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 2,
+    seed: int = 0,
+    engine=None,
+) -> List[Cell]:
+    """One pool cell per protocol curve, in protocol order."""
+    sizes = sorted(set(sizes))
+    cells: List[Cell] = []
+    for protocol in protocols:
+        spec = {
+            "topology": topology,
+            "protocol": protocol,
+            "event": event,
+            "dh_group": dh_group,
+            "sizes": sizes,
+            "repeats": repeats,
+            "seed": seed,
+            "engine": engine,
+        }
+
+        def summarize(result, protocol=protocol):
+            largest = result["measurements"][-1]
+            return (
+                f"{protocol} {event} curve done "
+                f"(n={largest['group_size']}: {largest['total_ms']:.1f} ms)"
+            )
+
+        cells.append(Cell("figure", spec, summarize=summarize))
+    return cells
+
+
+def sweep_group_sizes_parallel(
+    topology: str,
+    protocols: Sequence[str],
+    event: str,
+    dh_group: str = "dh-512",
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 2,
+    seed: int = 0,
+    name: str = "",
+    engine=None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FigureSeries:
+    """:func:`sweep_group_sizes` through the experiment pool.
+
+    ``topology`` is a testbed *name* (the cell must serialize); each
+    protocol curve is one cell, so the assembled series is identical to
+    the sequential sweep for any ``jobs``.  An engine instance forces
+    the inline uncached path.
+    """
+    if event not in ("join", "leave"):
+        raise ValueError("event must be 'join' or 'leave'")
+    if not (engine is None or isinstance(engine, str)):
+        jobs, cache_dir, use_cache = 1, None, False
+    sizes = sorted(set(sizes))
+    cells = figure_cells(
+        topology,
+        protocols,
+        event,
+        dh_group=dh_group,
+        sizes=sizes,
+        repeats=repeats,
+        seed=seed,
+        engine=engine,
+    )
+    results = run_cells(
+        cells,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        metrics=metrics,
+        progress=progress,
+    )
+    measurements = [
+        EventMeasurement.from_dict(cell_dict)
+        for result in results
+        for cell_dict in result["measurements"]
+    ]
     return FigureSeries.from_measurements(
         name or f"{event}-{dh_group}", measurements, sizes
     )

@@ -16,7 +16,7 @@ and the coordinator dying at the worst moment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.faults.link import LinkFaults, LinkPolicy

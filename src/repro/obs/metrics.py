@@ -81,6 +81,21 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
+    def merge(
+        self,
+        count: int,
+        total: float,
+        minimum: Optional[float],
+        maximum: Optional[float],
+    ) -> None:
+        """Fold another histogram's summary into this one (worker merge)."""
+        self.count += count
+        self.total += total
+        if minimum is not None:
+            self.min = minimum if self.min is None else min(self.min, minimum)
+        if maximum is not None:
+            self.max = maximum if self.max is None else max(self.max, maximum)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -180,6 +195,31 @@ class MetricsRegistry:
                 row["value"] = instrument.value
             rows.append(row)
         return rows
+
+    def merge_snapshot(self, rows: List[Dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        This is how benchmark worker processes report back: each worker
+        runs its cell against a fresh registry, ships
+        ``registry.snapshot()`` across the process boundary, and the
+        pool merges the rows here.  Counters and histograms accumulate;
+        gauges take the incoming value (last merge wins, matching their
+        point-in-time semantics).  A disabled registry ignores merges,
+        like every other recording path.
+        """
+        if not self.enabled:
+            return
+        for row in rows:
+            labels = row.get("labels", {})
+            kind = row.get("kind")
+            if kind == "counter":
+                self.counter(row["name"], **labels).inc(row["value"])
+            elif kind == "gauge":
+                self.gauge(row["name"], **labels).set(row["value"])
+            elif kind == "histogram":
+                self.histogram(row["name"], **labels).merge(
+                    row["count"], row["total"], row["min"], row["max"]
+                )
 
     def clear(self) -> None:
         self._counters.clear()

@@ -18,7 +18,7 @@ Secret keys are *local* state: a serialized tree carries blinded keys only
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 
 class TreeNode:

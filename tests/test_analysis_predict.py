@@ -1,6 +1,5 @@
 """Tests for the analytic time predictor and its simulator sanity-check."""
 
-import pytest
 
 from repro.analysis.predict import predict_elapsed_ms
 from repro.bench.harness import measure_event

@@ -6,6 +6,7 @@ import os
 import pytest
 
 from repro.bench.cli import FIGURES, build_parser, main
+from repro.gcs.topology import TESTBEDS
 from repro.obs import validate_chrome_trace
 
 
@@ -83,7 +84,9 @@ def test_subcommand_rejects_unknown_protocol():
 
 def test_every_registered_figure_is_well_formed():
     for panels in FIGURES.values():
-        for title, testbed, event, dh_group in panels:
+        for title, topology, event, dh_group in panels:
             assert event in ("join", "leave")
             assert dh_group.startswith("dh-")
-            assert callable(testbed)
+            # Topologies are registry names so figure cells stay
+            # JSON-ready (picklable, cacheable) for the parallel pool.
+            assert topology in TESTBEDS

@@ -1,7 +1,5 @@
 """Tests for the experiment harness (repro.bench)."""
 
-import os
-
 import pytest
 
 from repro.bench.harness import EventMeasurement, grow_group, measure_event

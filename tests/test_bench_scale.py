@@ -157,6 +157,7 @@ def test_scale_cli_writes_json(tmp_path, capsys):
             "--sizes", "5",
             "--protocols", "STR",
             "--dh-group", "dh-test",
+            "--cache-dir", str(tmp_path / "cache"),
             "-o", str(out),
         ]
     )

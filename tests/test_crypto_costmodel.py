@@ -3,7 +3,6 @@
 import pytest
 
 from repro.crypto.costmodel import (
-    CostModel,
     expensive_signatures,
     free_crypto,
     pentium3_666,

@@ -3,7 +3,7 @@ canonical merge views, and edge paths a black-box test rarely hits."""
 
 import pytest
 
-from repro.gcs import GcsWorld, Service, ViewEvent, lan_testbed
+from repro.gcs import GcsWorld, ViewEvent, lan_testbed
 from repro.gcs.daemon import MemberRecord, _reconstruct_groups, _AcceptState
 from repro.gcs.messages import GroupMessage, SequencedMessage
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gcs import GcsWorld, Service, ViewEvent, lan_testbed, wan_testbed
+from repro.gcs import GcsWorld, ViewEvent, lan_testbed, wan_testbed
 
 
 @pytest.fixture()

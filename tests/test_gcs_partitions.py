@@ -1,6 +1,5 @@
 """Tests for network partitions, merges and configuration changes."""
 
-import pytest
 
 from repro.gcs import GcsWorld, ViewEvent, lan_testbed, wan_testbed
 

@@ -6,10 +6,9 @@ quiescent point: total order, view agreement, and no message invented or
 duplicated.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.gcs import GcsWorld, ViewEvent, lan_testbed
+from repro.gcs import GcsWorld, lan_testbed
 
 
 @st.composite

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.gcs.topology import (
-    GcsParams,
     Topology,
     lan_testbed,
     medium_wan_testbed,

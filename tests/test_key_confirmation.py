@@ -10,8 +10,6 @@ everything the benchmarks measure) is the optimized one.
 
 import pytest
 
-from repro.crypto.groups import GROUP_TEST
-from repro.crypto.rng import DeterministicRandom
 from repro.protocols.loopback import LoopbackGroup
 from repro.protocols.str_protocol import StrProtocol
 from repro.protocols.str_protocol import KeyConfirmationError as StrConfirmError

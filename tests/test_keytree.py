@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.protocols.keytree import KeyTree, TreeNode
+from repro.protocols.keytree import KeyTree
 
 
 def _grow(names):

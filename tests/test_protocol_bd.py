@@ -1,6 +1,5 @@
 """Burmester-Desmedt specifics: key equation, symmetry, hidden cost."""
 
-import pytest
 
 from repro.crypto.groups import GROUP_TEST
 from repro.protocols import BdProtocol

@@ -1,6 +1,5 @@
 """CKD specifics: controller role, channel lifecycle, costs."""
 
-import pytest
 
 from repro.protocols import CkdProtocol
 from repro.protocols.loopback import build_group

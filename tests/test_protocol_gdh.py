@@ -1,11 +1,8 @@
 """GDH (IKA.3) specifics: key structure, roles, costs."""
 
-import pytest
-
 from repro.crypto.groups import GROUP_TEST
-from repro.gcs.messages import ViewEvent
 from repro.protocols import GdhProtocol
-from repro.protocols.loopback import LoopbackGroup, build_group
+from repro.protocols.loopback import build_group
 
 
 def _product_of_contributions(loop):

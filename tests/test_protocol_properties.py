@@ -6,9 +6,8 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.crypto.groups import GROUP_TEST
 from repro.protocols import PROTOCOLS
-from repro.protocols.loopback import LoopbackGroup, build_group
+from repro.protocols.loopback import build_group
 
 ALL = sorted(PROTOCOLS.items())
 

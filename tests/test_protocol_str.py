@@ -1,6 +1,5 @@
 """STR specifics: the skinny-tree chain, sponsor position, caching."""
 
-import pytest
 
 from repro.crypto.groups import GROUP_TEST
 from repro.protocols import StrProtocol

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.protocols import TgdhProtocol
 from repro.protocols.loopback import build_group

@@ -7,7 +7,6 @@ time)."""
 
 import math
 
-import pytest
 
 from repro.core import SecureSpreadFramework
 from repro.gcs.topology import lan_testbed
