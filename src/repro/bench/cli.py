@@ -17,6 +17,8 @@ One subcommand per job, all sharing the same core options
     python -m repro.bench chaos                  # rekeying under link faults
     python -m repro.bench chaos --drops 0 0.05 0.2 --size 8
     python -m repro.bench compare OLD.json NEW.json   # exact regression gate
+    python -m repro.bench profile                # wall-clock self-profile
+    python -m repro.bench profile --size 64 --protocols BD --no-profiler
 
 The grid-shaped subcommands (``figure``, ``scale``, ``chaos``) all take
 ``--jobs N`` (worker processes, default: every CPU), ``--cache-dir``
@@ -49,6 +51,14 @@ from repro.bench.compare import compare_files
 from repro.bench.harness import _fresh_framework, grow_group
 from repro.bench.plot import render_plot
 from repro.bench.pool import DEFAULT_CACHE_DIR, pool_stats
+from repro.bench.profiling import (
+    DEFAULT_BASELINE,
+    PROFILE_SIZE,
+    profile_micro_sweep,
+    render_profile_table,
+    wallclock_document,
+    write_json,
+)
 from repro.bench.report import render_series, series_to_csv
 from repro.bench.scale import (
     SCALE_SIZES,
@@ -68,7 +78,9 @@ PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
 TOPOLOGIES = TESTBEDS
 
 #: The subcommand surface (a leading ``--`` selects the legacy flags).
-SUBCOMMANDS = ("figure", "table", "trace", "report", "scale", "chaos", "compare")
+SUBCOMMANDS = (
+    "figure", "table", "trace", "report", "scale", "chaos", "compare", "profile",
+)
 
 #: figure number -> list of (title, testbed name, event, dh group)
 FIGURES = {
@@ -304,6 +316,44 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     _add_pool_options(chaos)
     chaos.set_defaults(engine="symbolic", out="BENCH_chaos.json")
 
+    profile = sub.add_parser(
+        "profile", parents=[build_common_parser()],
+        help="self-profiling micro-sweep: wall-clock attribution + "
+        "cProfile hot-function tables over one real-engine join/leave "
+        "cell per protocol, compared against the committed wall-clock "
+        "baseline",
+    )
+    profile.add_argument(
+        "--size", type=int, default=PROFILE_SIZE,
+        help=f"settled group size per cell (default {PROFILE_SIZE}; the "
+        "committed baseline was recorded at the default)",
+    )
+    profile.add_argument(
+        "--protocols", nargs="+", default=list(PROTOCOLS),
+        choices=PROTOCOLS, help="protocols to include",
+    )
+    _add_testbed_options(profile)
+    profile.add_argument(
+        "--top", type=int, default=15,
+        help="hot functions per protocol in the profile table (default 15)",
+    )
+    profile.add_argument(
+        "--no-profiler", dest="with_profiler", action="store_false",
+        help="skip the cProfile pass (halves the sweep's wall-clock; "
+        "BENCH_profile.json then carries timings but no hot tables)",
+    )
+    profile.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="PATH",
+        help="recorded pre-optimization sweep to compare wall-clock "
+        f"against (default {DEFAULT_BASELINE}; pass '' to skip)",
+    )
+    profile.add_argument(
+        "--wallclock", default="BENCH_wallclock.json", metavar="PATH",
+        help="where to write the wall-clock comparison artifact "
+        "(default BENCH_wallclock.json)",
+    )
+    profile.set_defaults(engine="real", out="BENCH_profile.json")
+
     compare = sub.add_parser(
         "compare",
         help="diff two benchmark JSON artifacts cell-by-cell; exits "
@@ -488,6 +538,70 @@ def run_chaos_command(args) -> int:
     return 0
 
 
+def run_profile_command(args) -> int:
+    metrics = MetricsRegistry(enabled=True)
+    profile_doc = profile_micro_sweep(
+        protocols=args.protocols,
+        size=args.size,
+        engine=args.engine or "real",
+        topology=args.topology,
+        dh_group=args.dh_group,
+        seed=args.seed,
+        top=args.top,
+        with_profiler=args.with_profiler,
+        metrics=metrics,
+        progress=lambda line: print(f"  {line}", flush=True),
+    )
+    write_json(args.out, profile_doc)
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"note: no baseline at {args.baseline}; "
+                  "writing current numbers only")
+        else:
+            recorded = baseline.get("spec", {})
+            mismatched = [
+                key for key in ("group_size", "engine", "topology", "dh_group", "seed")
+                if key in recorded and recorded[key] != profile_doc["spec"][key]
+            ]
+            if mismatched:
+                # Comparing sweeps with different specs would report a
+                # bogus speedup and a guaranteed sim mismatch.
+                print(
+                    f"note: baseline {args.baseline} was recorded with a "
+                    f"different {'/'.join(mismatched)}; skipping comparison"
+                )
+                baseline = None
+    wallclock = wallclock_document(profile_doc, baseline)
+    write_json(args.wallclock, wallclock)
+    print()
+    print(render_profile_table(profile_doc))
+    print(f"\nwrote {args.out}")
+    if baseline is not None:
+        print(
+            f"wrote {args.wallclock}: {wallclock['baseline']['total_wall_s']:.2f}s "
+            f"baseline -> {wallclock['current']['total_wall_s']:.2f}s now "
+            f"({wallclock['speedup']}x), simulated times "
+            + ("identical" if wallclock["sim_identical"] else "DIVERGED")
+        )
+        if not wallclock["sim_identical"]:
+            # Wall-clock is hostbound and only tracked; simulated-time
+            # identity is the hard contract and failing it is an error.
+            print(
+                "error: simulated join/leave times diverge from the "
+                "recorded baseline — a wall-clock optimization changed "
+                "behaviour",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        print(f"wrote {args.wallclock} (no baseline comparison)")
+    return 0
+
+
 def run_compare_command(args) -> int:
     drifts = compare_files(
         args.old, args.new,
@@ -582,6 +696,8 @@ def run_subcommand(argv: Sequence[str]) -> int:
         return run_scale_command(args)
     if args.command == "compare":
         return run_compare_command(args)
+    if args.command == "profile":
+        return run_profile_command(args)
     return run_chaos_command(args)
 
 

@@ -68,6 +68,12 @@ class SecureGroupMember:
         self._verifier = RsaVerifier(self.protocol.ledger)
         self._keypair = keypair
         self._cpu_tail = 0.0
+        # Hot-path caches: all three are set once on the framework/world
+        # and never reassigned, and the message handler runs O(n²) times
+        # per rekey — the attribute chains show up in profiles.
+        self._sim = framework.world.sim
+        self._cost_model = framework.cost_model
+        self._sign_for_real = framework.sign_for_real
         self._ciphers: Dict[Tuple[int, int], GroupCipher] = {}
         self._current_epoch: Optional[Tuple[int, int]] = None
         self._outbound_queue: List[bytes] = []
@@ -198,16 +204,16 @@ class SecureGroupMember:
     # -- protocol message handling ----------------------------------------------
 
     def _on_message(self, _client: SpreadClient, message: GroupMessage) -> None:
-        kind, payload = message.payload[0], message.payload[1:]
+        payload = message.payload
+        kind = payload[0]
         if kind == "key-agreement":
-            pmsg, signature, attempt = payload
-            self._handle_protocol_message(message.sender, pmsg, signature, attempt)
+            self._handle_protocol_message(
+                message.sender, payload[1], payload[2], payload[3]
+            )
         elif kind == "secure-data":
-            (sealed,) = payload
-            self._handle_secure_data(sealed)
+            self._handle_secure_data(payload[1])
         elif kind == "rekey-restart":
-            view_id, proposed = payload
-            self._handle_rekey_restart(view_id, proposed)
+            self._handle_rekey_restart(payload[1], payload[2])
         else:  # pragma: no cover - no other kinds are sent
             raise ValueError(f"unknown secure payload kind {kind!r}")
 
@@ -225,21 +231,44 @@ class SecureGroupMember:
             # else: a straggler of an aborted attempt — discard.
             return
 
-        def work():
-            if not self._verify(sender, pmsg, signature):
-                return []
-            return self.protocol.receive(pmsg)
+        if not self.obs.enabled:
+            # Inlined ``_charged`` (its unobserved branch, kept in sync):
+            # this handler runs once per (broadcast, receiver) pair —
+            # O(n²) per rekey — and the closure + dispatch layers of the
+            # generic path are measurable at n=1024.
+            ledger = self.protocol.ledger
+            ledger.begin_charge()
+            if not self._sign_for_real:
+                ledger.record_verification()
+                outputs = self.protocol.receive(pmsg)
+            elif self._verify(sender, pmsg, signature):
+                outputs = self.protocol.receive(pmsg)
+            else:
+                outputs = []
+            cost = ledger.charge_pending(self._cost_model)
+            sim = self._sim
+            tail = self._cpu_tail
+            now = sim.now
+            self._cpu_tail = self.machine.submit(
+                sim, cost, not_before=tail if tail > now else now, span=None,
+            )
+        else:
 
-        outputs = self._charged(
-            work, label=f"{self.protocol.name}.{pmsg.step}"
-        )
+            def work():
+                if not self._verify(sender, pmsg, signature):
+                    return []
+                return self.protocol.receive(pmsg)
+
+            outputs = self._charged(
+                work, label=f"{self.protocol.name}.{pmsg.step}"
+            )
         view = self.protocol.view
         if view is not None:
             self._after_protocol_step(view, outputs)
 
     def _verify(self, sender: str, pmsg: ProtocolMessage, signature) -> bool:
         """Verify the sender's signature (always charged; optionally real)."""
-        if not self.framework.sign_for_real:
+        if not self._sign_for_real:
             self.protocol.ledger.record_verification()
             return True
         public = self.framework.public_key_of(sender)
@@ -248,22 +277,27 @@ class SecureGroupMember:
     def _after_protocol_step(
         self, view: View, outputs: List[ProtocolMessage]
     ) -> None:
+        sim = self._sim
         for pmsg in outputs:
             # Signing advances our CPU timeline; the message leaves only
             # once the signature is paid for.  The attempt is captured now:
             # a restart arriving before the CPU frees up must not relabel
             # (and thereby resurrect) a message of the aborted run.
             signature = self._sign(pmsg)
-            self.sim.schedule_at(
-                max(self._cpu_tail, self.sim.now),
+            tail = self._cpu_tail
+            now = sim.now
+            sim.schedule_at(
+                tail if tail > now else now,
                 self._transmit,
                 pmsg,
                 signature,
                 self._attempt,
             )
         if self.protocol.done_for(view):
-            self.sim.schedule_at(
-                max(self._cpu_tail, self.sim.now), self._install_epoch, view
+            tail = self._cpu_tail
+            now = sim.now
+            sim.schedule_at(
+                tail if tail > now else now, self._install_epoch, view
             )
 
     def _sign(self, pmsg: ProtocolMessage):
@@ -449,7 +483,26 @@ class SecureGroupMember:
         With observability enabled, the charged interval is recorded as a
         ``crypto`` span named ``label`` and the ledger delta is bridged
         into per-member, per-epoch operation counters.
+
+        The unobserved path prices the step straight off the ledger's
+        pending-record window (``begin_charge``/``charge_pending``)
+        instead of building two :class:`~repro.crypto.ledger.OpCounts`
+        snapshots and subtracting them; the cost comes out bit-identical
+        (see ``charge_pending``), and this is the single hottest call in
+        a large-n sweep.
         """
+        if not self.obs.enabled:
+            ledger = self.protocol.ledger
+            ledger.begin_charge()
+            outputs = work()
+            cost = ledger.charge_pending(self._cost_model)
+            sim = self._sim
+            tail = self._cpu_tail
+            now = sim.now
+            self._cpu_tail = self.machine.submit(
+                sim, cost, not_before=tail if tail > now else now, span=None,
+            )
+            return outputs
         before = self.protocol.ledger.snapshot()
         outputs = work()
         delta = self.protocol.ledger.delta_since(before)
@@ -470,10 +523,21 @@ class SecureGroupMember:
 
 
 def _message_bytes(pmsg: ProtocolMessage) -> bytes:
-    """Canonical bytes of a protocol message for signing."""
-    return repr(
-        (pmsg.protocol, pmsg.epoch, pmsg.step, pmsg.sender, sorted_repr(pmsg.body))
-    ).encode()
+    """Canonical bytes of a protocol message for signing.
+
+    Memoized on the message object: a broadcast is signed once but
+    verified by every receiver, and the simulator delivers the same
+    in-process object to all of them, so without the memo the canonical
+    bytes of one message are recomputed O(n) times.  Message bodies are
+    never mutated after emission, so the memo cannot go stale.
+    """
+    cached = getattr(pmsg, "_canonical_bytes", None)
+    if cached is None:
+        cached = repr(
+            (pmsg.protocol, pmsg.epoch, pmsg.step, pmsg.sender, sorted_repr(pmsg.body))
+        ).encode()
+        pmsg._canonical_bytes = cached
+    return cached
 
 
 def sorted_repr(body: dict) -> str:

@@ -61,24 +61,102 @@ class CryptoEngine(ABC):
 _TABLE_CACHE: Dict[Tuple[int, int, int], FixedBaseTable] = {}
 
 
+class PowerCache:
+    """A bounded FIFO cache of ``pow(base, exponent, p)`` results.
+
+    The tree protocols recompute identical full exponentiations many
+    times per epoch: every TGDH member on a node's co-path derives the
+    same blinded key, and STR members re-lift the same chain links
+    (measured on an n=64 real sweep: 87% of TGDH's and 95% of STR's
+    ``exp`` calls repeat an earlier (base, exponent) pair — mostly
+    *across* members, which is why the cache lives on the engine and is
+    shared by every context it creates, not held per member).  A cached
+    power is a pure function of its key, so hits are bit-identical to
+    recomputation, and the ledger wrapper above the raw hook still
+    charges every call — only wall-clock changes.
+
+    Insertion-ordered dict + FIFO eviction keeps the footprint bounded
+    without per-hit bookkeeping (an LRU would reorder on every hit).
+    """
+
+    def __init__(self, capacity: int = 8192):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._values: Dict[Tuple[int, int, int], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def pow(self, base: int, exponent: int, modulus: int) -> int:
+        key = (modulus, base, exponent)
+        result = self._values.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        self.misses += 1
+        result = pow(base, exponent, modulus)
+        values = self._values
+        if len(values) >= self.capacity:
+            del values[next(iter(values))]
+        values[key] = result
+        return result
+
+
+class RealElementContext(GroupElementContext):
+    """Real arithmetic, with repeated exponentiations served from a
+    :class:`PowerCache` (accounting in the inherited wrappers is
+    untouched — the cache can never change a charged cost)."""
+
+    def __init__(
+        self,
+        group: SchnorrGroup,
+        ledger: Optional[OperationLedger] = None,
+        fixed_base: Optional[FixedBaseTable] = None,
+        power_cache: Optional[PowerCache] = None,
+    ):
+        super().__init__(group, ledger, fixed_base=fixed_base)
+        self._power_cache = power_cache
+
+    def _raw_exp(self, base: int, exponent: int) -> int:
+        cache = self._power_cache
+        if cache is None:
+            return pow(base, exponent, self.group.p)
+        return cache.pow(base, exponent, self.group.p)
+
+
 class RealEngine(CryptoEngine):
     """The real big-integer path, with fixed-base precomputation.
 
     ``precompute=False`` disables the windowed tables (plain ``pow``
-    everywhere); results are bit-identical either way.
+    everywhere); ``power_cache_size=0`` disables the shared
+    exponentiation cache.  Results are bit-identical in every
+    combination.
     """
 
     name = "real"
 
-    def __init__(self, precompute: bool = True, window: int = 6):
+    def __init__(
+        self,
+        precompute: bool = True,
+        window: int = 6,
+        power_cache_size: int = 8192,
+    ):
         self.precompute = precompute
         self.window = window
+        self.power_cache: Optional[PowerCache] = (
+            PowerCache(power_cache_size) if power_cache_size else None
+        )
 
     def context(
         self, group: SchnorrGroup, ledger: Optional[OperationLedger] = None
     ) -> GroupElementContext:
         fixed_base = self._table_for(group) if self.precompute else None
-        return GroupElementContext(group, ledger, fixed_base=fixed_base)
+        return RealElementContext(
+            group, ledger, fixed_base=fixed_base, power_cache=self.power_cache
+        )
 
     def _table_for(self, group: SchnorrGroup) -> FixedBaseTable:
         key = (group.p, group.g, self.window)
@@ -115,6 +193,16 @@ class SymbolicElementContext(GroupElementContext):
 
     def _raw_inv_element(self, a: int) -> int:
         return (-a) % self.group.q
+
+    def _raw_weighted_product(self, start, pairs):
+        # Under the isomorphism a weighted product is a weighted *sum*
+        # of tokens; the real context's multi-exponentiation shortcut
+        # would treat tokens as group elements, so override it whole.
+        q = self.group.q
+        total = start
+        for factor, weight in pairs:
+            total = (total + factor * weight) % q
+        return total
 
     def contains(self, element) -> bool:
         # Tokens are dlogs in [0, q); the subgroup test of the real

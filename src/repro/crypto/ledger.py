@@ -98,6 +98,12 @@ def _merge(
     return tuple(sorted((bits, n) for bits, n in merged.items() if n))
 
 
+#: square-and-multiply multiplication counts per small exponent — a pure
+#: function of the exponent, shared by every ledger (BD alone asks for
+#: weights 1..n−1 once per member per rekey).
+_SMALL_EXP_MULTS: Dict[int, int] = {}
+
+
 class OperationLedger:
     """Mutable counter of cryptographic operations.
 
@@ -112,34 +118,152 @@ class OperationLedger:
         self._mults: Dict[int, int] = {}
         self._signatures = 0
         self._verifications = 0
+        # Pending (not yet folded) records.  ``record_*`` writes land here
+        # — one dict update, exactly as cheap as writing the main counters
+        # directly — and :meth:`_flush` folds them into the main counters
+        # whenever a reader needs totals.  The point: a charge window
+        # (``begin_charge``/``charge_pending``) prices *only* the pending
+        # dicts, which hold the handful of ops of one protocol step,
+        # instead of diffing full-history counters per message.
+        self._p_exps: Dict[int, int] = {}
+        self._p_small_mults: Dict[int, int] = {}
+        self._p_mults: Dict[int, int] = {}
+        self._p_signatures = 0
+        self._p_verifications = 0
+        # per-bits cost memo for the last cost model seen (costs are pure
+        # functions of bits).
+        self._cost_cache: Tuple = (None, {}, {})
 
     def record_exponentiation(self, modulus_bits: int, count: int = 1) -> None:
         """Record ``count`` full (crypto-sized exponent) exponentiations."""
-        self._exps[modulus_bits] = self._exps.get(modulus_bits, 0) + count
+        self._p_exps[modulus_bits] = self._p_exps.get(modulus_bits, 0) + count
 
     def record_small_exponentiation(self, modulus_bits: int, exponent: int) -> None:
         """Record one small-exponent exponentiation as its multiplication cost."""
         if exponent <= 1:
             return
-        mults = exponent.bit_length() - 1 + bin(exponent).count("1") - 1
-        self._small_mults[modulus_bits] = (
-            self._small_mults.get(modulus_bits, 0) + mults
+        mults = _SMALL_EXP_MULTS.get(exponent)
+        if mults is None:
+            mults = exponent.bit_length() - 1 + bin(exponent).count("1") - 1
+            if exponent < 4096:  # the weights protocols use; keep it bounded
+                _SMALL_EXP_MULTS[exponent] = mults
+        self._p_small_mults[modulus_bits] = (
+            self._p_small_mults.get(modulus_bits, 0) + mults
         )
 
     def record_multiplication(self, modulus_bits: int, count: int = 1) -> None:
         """Record ``count`` plain modular multiplications (or inversions)."""
-        self._mults[modulus_bits] = self._mults.get(modulus_bits, 0) + count
+        self._p_mults[modulus_bits] = self._p_mults.get(modulus_bits, 0) + count
 
     def record_signature(self, count: int = 1) -> None:
         """Record ``count`` digital signatures produced."""
-        self._signatures += count
+        self._p_signatures += count
 
     def record_verification(self, count: int = 1) -> None:
         """Record ``count`` signature verifications."""
-        self._verifications += count
+        self._p_verifications += count
+
+    def _flush(self) -> None:
+        """Fold pending records into the cumulative counters."""
+        if self._p_exps:
+            exps = self._exps
+            for bits, n in self._p_exps.items():
+                exps[bits] = exps.get(bits, 0) + n
+            self._p_exps.clear()
+        if self._p_small_mults:
+            small = self._small_mults
+            for bits, n in self._p_small_mults.items():
+                small[bits] = small.get(bits, 0) + n
+            self._p_small_mults.clear()
+        if self._p_mults:
+            mults = self._mults
+            for bits, n in self._p_mults.items():
+                mults[bits] = mults.get(bits, 0) + n
+            self._p_mults.clear()
+        if self._p_signatures:
+            self._signatures += self._p_signatures
+            self._p_signatures = 0
+        if self._p_verifications:
+            self._verifications += self._p_verifications
+            self._p_verifications = 0
+
+    def begin_charge(self) -> None:
+        """Open a charge window: whatever is recorded until the matching
+        :meth:`charge_pending` call is priced by it.
+
+        Folds any records made outside a window (e.g. signatures charged
+        separately) so they cannot leak into this window's bill.  Windows
+        do not nest — the caller (``SecureGroupMember._charged``) runs
+        one synchronous protocol step per window and nothing inside a
+        step re-enters the charging layer.
+        """
+        self._flush()
+
+    def charge_pending(self, cost_model) -> float:
+        """Close the window: price, fold, and return the pending work.
+
+        Bit-identical to ``cost_model.time_of(self.delta_since(mark))``
+        for a mark taken at :meth:`begin_charge`: terms accumulate in the
+        exact order ``CostModel.time_of`` uses (exponentiations, then
+        small-exponent multiplications, then multiplications — each
+        ascending by modulus bits — then signatures, then verifications),
+        and zero counts are skipped just as ``OpCounts`` merging drops
+        them, so the floating-point sums agree to the last bit.
+        """
+        model, exp_cost_of, mult_cost_of = self._cost_cache
+        if model is not cost_model:
+            exp_cost_of, mult_cost_of = {}, {}
+            self._cost_cache = (cost_model, exp_cost_of, mult_cost_of)
+        total = 0.0
+        p_exps = self._p_exps
+        if p_exps:
+            exps = self._exps
+            for bits in sorted(p_exps) if len(p_exps) > 1 else p_exps:
+                n = p_exps[bits]
+                exps[bits] = exps.get(bits, 0) + n
+                if n:
+                    cost = exp_cost_of.get(bits)
+                    if cost is None:
+                        cost = exp_cost_of[bits] = cost_model.exp_cost(bits)
+                    total += n * cost
+            p_exps.clear()
+        p_small = self._p_small_mults
+        if p_small:
+            small = self._small_mults
+            for bits in sorted(p_small) if len(p_small) > 1 else p_small:
+                n = p_small[bits]
+                small[bits] = small.get(bits, 0) + n
+                if n:
+                    cost = mult_cost_of.get(bits)
+                    if cost is None:
+                        cost = mult_cost_of[bits] = cost_model.mult_cost(bits)
+                    total += n * cost
+            p_small.clear()
+        p_mults = self._p_mults
+        if p_mults:
+            mults = self._mults
+            for bits in sorted(p_mults) if len(p_mults) > 1 else p_mults:
+                n = p_mults[bits]
+                mults[bits] = mults.get(bits, 0) + n
+                if n:
+                    cost = mult_cost_of.get(bits)
+                    if cost is None:
+                        cost = mult_cost_of[bits] = cost_model.mult_cost(bits)
+                    total += n * cost
+            p_mults.clear()
+        if self._p_signatures:
+            total += self._p_signatures * cost_model.sign_ms
+            self._signatures += self._p_signatures
+            self._p_signatures = 0
+        if self._p_verifications:
+            total += self._p_verifications * cost_model.verify_ms
+            self._verifications += self._p_verifications
+            self._p_verifications = 0
+        return total
 
     def snapshot(self) -> OpCounts:
         """Immutable snapshot of all counts so far."""
+        self._flush()
         return OpCounts(
             exponentiations=tuple(sorted(self._exps.items())),
             small_exp_multiplications=tuple(sorted(self._small_mults.items())),
@@ -152,10 +276,82 @@ class OperationLedger:
         """Work recorded since ``earlier`` was snapshotted."""
         return self.snapshot() - earlier
 
+    def mark(self) -> Tuple:
+        """A cheap point-in-time marker for :meth:`charge_since`.
+
+        Plain dict copies — no tuple building or sorting — so marking
+        before and charging after every protocol step stays off the
+        simulator's hot-path profile.  Use :meth:`snapshot` when the
+        delta itself (an :class:`OpCounts`) is needed, e.g. for
+        observability counters.  The hot path proper uses
+        :meth:`begin_charge`/:meth:`charge_pending`, which skip even the
+        dict copies.
+        """
+        self._flush()
+        return (
+            dict(self._exps),
+            dict(self._small_mults),
+            dict(self._mults),
+            self._signatures,
+            self._verifications,
+        )
+
+    def charge_since(self, mark: Tuple, cost_model) -> float:
+        """Virtual milliseconds of the work recorded since ``mark``.
+
+        Bit-identical to ``cost_model.time_of(self.delta_since(snapshot))``
+        for the matching snapshot: terms are accumulated in the exact
+        order ``CostModel.time_of`` uses (exponentiations, small-exponent
+        multiplications, multiplications — each ascending by modulus
+        bits — then signatures, then verifications), and zero deltas are
+        skipped just as ``OpCounts`` merging drops them, so the floating
+        point sums agree to the last bit.
+        """
+        self._flush()
+        exps, small_mults, mults, signatures, verifications = mark
+        model, exp_cost_of, mult_cost_of = self._cost_cache
+        if model is not cost_model:
+            exp_cost_of, mult_cost_of = {}, {}
+            self._cost_cache = (cost_model, exp_cost_of, mult_cost_of)
+        total = 0.0
+        for bits in sorted(self._exps):
+            n = self._exps[bits] - exps.get(bits, 0)
+            if n:
+                cost = exp_cost_of.get(bits)
+                if cost is None:
+                    cost = exp_cost_of[bits] = cost_model.exp_cost(bits)
+                total += n * cost
+        for bits in sorted(self._small_mults):
+            n = self._small_mults[bits] - small_mults.get(bits, 0)
+            if n:
+                cost = mult_cost_of.get(bits)
+                if cost is None:
+                    cost = mult_cost_of[bits] = cost_model.mult_cost(bits)
+                total += n * cost
+        for bits in sorted(self._mults):
+            n = self._mults[bits] - mults.get(bits, 0)
+            if n:
+                cost = mult_cost_of.get(bits)
+                if cost is None:
+                    cost = mult_cost_of[bits] = cost_model.mult_cost(bits)
+                total += n * cost
+        total += (self._signatures - signatures) * cost_model.sign_ms
+        total += (self._verifications - verifications) * cost_model.verify_ms
+        return total
+
     def reset(self) -> None:
-        """Forget all recorded work."""
+        """Forget all recorded work.
+
+        Marks taken before a reset are invalidated, not rebased: a
+        :meth:`charge_since` across a reset reads the post-reset counts.
+        """
         self._exps.clear()
         self._small_mults.clear()
         self._mults.clear()
         self._signatures = 0
         self._verifications = 0
+        self._p_exps.clear()
+        self._p_small_mults.clear()
+        self._p_mults.clear()
+        self._p_signatures = 0
+        self._p_verifications = 0

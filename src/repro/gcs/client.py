@@ -100,9 +100,10 @@ class SpreadClient:
         if not self.connected:
             return
         self.received.append(message)
-        self.world.obs.counter(
-            "client.messages_delivered", client=self.name
-        ).inc()
+        if self.world.obs.enabled:
+            self.world.obs.counter(
+                "client.messages_delivered", client=self.name
+            ).inc()
         if self.on_message is not None:
             self.on_message(self, message)
 
@@ -110,7 +111,10 @@ class SpreadClient:
         if not self.connected:
             return
         self.views.append(view)
-        self.world.obs.counter("client.views_delivered", client=self.name).inc()
+        if self.world.obs.enabled:
+            self.world.obs.counter(
+                "client.views_delivered", client=self.name
+            ).inc()
         if self.on_view is not None:
             self.on_view(self, view)
 

@@ -59,8 +59,13 @@ class Config:
     daemon_ids: Tuple[int, ...]
     ring: TokenRing
 
+    def __post_init__(self) -> None:
+        # index_of is on the per-delivery hot path (the hold barrier asks
+        # for two positions per Agreed frame); a dict beats tuple.index.
+        self._index = {d: i for i, d in enumerate(self.daemon_ids)}
+
     def index_of(self, daemon_id: int) -> int:
-        return self.daemon_ids.index(daemon_id)
+        return self._index[daemon_id]
 
 
 @dataclass
@@ -91,6 +96,9 @@ class Daemon:
         self._sent: Dict[int, Dict[int, SequencedMessage]] = {}
         self._delivered = 0
         self._frozen = False
+        # Config id with a zero-delay _try_deliver already queued (dedupe:
+        # one delivery scan per instant, not one per arriving frame).
+        self._deliver_soon: Optional[Tuple[int, int]] = None
         self._send_queue: List[GroupMessage] = []
         # configuration-change state
         self._reachable: FrozenSet[int] = frozenset()
@@ -193,16 +201,13 @@ class Daemon:
             now, "sequence", f"d{self.daemon_id}", seq=seq, at=sequenced_at,
             kind=message.kind, group=message.group,
         )
-        for dst_id in config.daemon_ids:
-            self.world.network.send(
-                self.daemon_id,
-                dst_id,
-                message.size_bytes,
-                self.world.daemons[dst_id]._on_frame,
-                smsg,
-                extra_delay_ms=max(sequenced_at - now, 0.0),
-                retry_faults=True,
-            )
+        self.world.network.broadcast_frame(
+            self.daemon_id,
+            config.daemon_ids,
+            message.size_bytes,
+            smsg,
+            extra_delay_ms=max(sequenced_at - now, 0.0),
+        )
 
     def _send_fifo(self, message: GroupMessage) -> None:
         if message.target is None:
@@ -238,16 +243,30 @@ class Daemon:
             return  # duplicate of an already-delivered frame
         self._recv.setdefault(smsg.config_id, {})[smsg.seq] = smsg
         if self.config and smsg.config_id == self.config.config_id:
-            self.world.sim.schedule(0, self._try_deliver, smsg.config_id)
+            # One zero-delay delivery scan per instant: frames landing at
+            # the same time were all scheduled before this event, so the
+            # single scan sees (and delivers) exactly what the first of
+            # the per-frame scans used to; the suppressed scans were
+            # no-ops (even their NACK arming dedupes on the gap key).
+            if self._deliver_soon != smsg.config_id:
+                self._deliver_soon = smsg.config_id
+                self.world.sim.schedule(0, self._try_deliver, smsg.config_id)
 
     def _hold_until(self, smsg: SequencedMessage) -> float:
-        """The ordering-settlement barrier: the token sweep must pass us."""
-        ring = self.config.ring
-        origin = self.config.index_of(smsg.origin_daemon)
-        mine = self.config.index_of(self.daemon_id)
-        return smsg.sequenced_at + ring.distance_ms(origin, mine)
+        """The ordering-settlement barrier: the token sweep must pass us.
+
+        Reads the ring's precomputed distance matrix directly — this runs
+        once per delivered Agreed frame, and the ``index_of``/
+        ``distance_ms`` call layers are measurable at n=1024.
+        """
+        config = self.config
+        index = config._index
+        return smsg.sequenced_at + config.ring._distance_ms[
+            index[smsg.origin_daemon]
+        ][index[self.daemon_id]]
 
     def _try_deliver(self, config_id: int) -> None:
+        self._deliver_soon = None
         if self._crashed or self.config is None or self.config.config_id != config_id:
             return
         pending = self._recv.get(config_id, {})
@@ -264,9 +283,10 @@ class Daemon:
             hold = self._hold_until(smsg)
             if hold > now:
                 self.world.sim.schedule_at(hold, self._try_deliver, config_id)
-                self.world.obs.gauge(
-                    "daemon.undelivered", daemon=f"d{self.daemon_id}"
-                ).set(len(pending))
+                if self.world.obs.enabled:
+                    self.world.obs.gauge(
+                        "daemon.undelivered", daemon=f"d{self.daemon_id}"
+                    ).set(len(pending))
                 return
             self._delivered += 1
             del pending[smsg.seq]
@@ -282,9 +302,10 @@ class Daemon:
             seq=smsg.seq, config=smsg.config_id, kind=message.kind,
             group=message.group, sender=message.sender,
         )
-        self.world.obs.counter(
-            "daemon.delivered", daemon=f"d{self.daemon_id}", kind=message.kind
-        ).inc()
+        if self.world.obs.enabled:
+            self.world.obs.counter(
+                "daemon.delivered", daemon=f"d{self.daemon_id}", kind=message.kind
+            ).inc()
         if message.kind in ("join", "leave", "disconnect"):
             self._apply_membership(smsg)
         else:
@@ -299,10 +320,16 @@ class Daemon:
             if client is not None and message.target in records:
                 self.world.sim.schedule(delay, client._on_message, message)
             return
-        for name, client in self.clients.items():
-            if name not in records:
-                continue
-            self.world.sim.schedule(delay, client._on_message, message)
+        # One event fans the message out to every local recipient.  The
+        # per-client events this replaces were created back to back —
+        # same firing time, consecutive seqs, so nothing could interleave
+        # between them — and each client still drops the message itself
+        # if it disconnected before the IPC delay elapsed.
+        recipients = [
+            client for name, client in self.clients.items() if name in records
+        ]
+        if recipients:
+            self.world.sim.schedule(delay, _fan_out, recipients, message)
 
     def _deliver_fifo(self, message: GroupMessage) -> None:
         if self._crashed:
@@ -440,6 +467,7 @@ class Daemon:
         self._history = {}
         self._delivered = 0
         self._frozen = False
+        self._deliver_soon = None
         self._send_queue = []
         self._accepts = {}
         self._nack_armed_for = None
@@ -739,10 +767,17 @@ class Daemon:
             self._emit_view(view)
         # 5. Deliver any frames of the new configuration that raced ahead of
         #    the install, then release sends queued while frozen.
+        self._deliver_soon = config.config_id
         self.world.sim.schedule(0, self._try_deliver, config.config_id)
         queued, self._send_queue = self._send_queue, []
         for message in queued:
             self.submit(message)
+
+
+def _fan_out(clients, message: GroupMessage) -> None:
+    """Deliver one message to several co-located clients in one event."""
+    for client in clients:
+        client._on_message(message)
 
 
 def _reconstruct_groups(

@@ -52,9 +52,14 @@ class GroupMessage:
     msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
 
 
-@dataclass
+@dataclass(frozen=True)
 class SequencedMessage:
-    """A group message stamped by the token with a global sequence number."""
+    """A group message stamped by the token with a global sequence number.
+
+    Frozen: one instance is broadcast by reference to every daemon (see
+    :meth:`repro.gcs.network.Network.broadcast_frame`), retained in
+    sent/history buffers and re-served on NACKs, so it must never mutate.
+    """
 
     config_id: Tuple[int, int]
     seq: int

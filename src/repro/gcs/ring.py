@@ -57,6 +57,23 @@ class TokenRing:
             hop = topology.one_way_ms(machines[i], nxt) + self._params.hop_processing_ms
             self._hop_ms.append(hop)
         self.cycle_ms = sum(self._hop_ms)
+        # Token travel times, precomputed: every Agreed delivery asks for
+        # the sweep distance from its sequencer (the ordering-settlement
+        # barrier), which made the on-demand hop walk a top profile entry
+        # at large n.  Each row accumulates hops in the exact order the
+        # walk did, so the floats are bit-identical.
+        self._distance_ms: List[List[float]] = []
+        for src in range(n):
+            row = [0.0] * n
+            total = 0.0
+            i = src
+            nxt = (i + 1) % n
+            while nxt != src:
+                total += self._hop_ms[i]
+                row[nxt] = total
+                i = nxt
+                nxt = (i + 1) % n
+            self._distance_ms.append(row)
         # Parked-token state: it was at position ``_pos`` at time ``_time``
         # and has been rotating freely since.
         self._pos = 0
@@ -78,12 +95,7 @@ class TokenRing:
         Zero when src == dst (the sequencer itself needs no settlement
         sweep: it holds the token).
         """
-        total = 0.0
-        i = src_index
-        while i != dst_index:
-            total += self._hop_ms[i]
-            i = (i + 1) % len(self._machines)
-        return total
+        return self._distance_ms[src_index][dst_index]
 
     @property
     def next_seq(self) -> int:

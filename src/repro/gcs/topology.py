@@ -89,6 +89,10 @@ class Topology:
         self._by_name = {m.name: m for m in machines}
         if len(self._by_name) != len(machines):
             raise ValueError("machine names must be unique")
+        # Links are immutable and the pair set is tiny compared to the
+        # number of frames sent over them; memoize successes only, so an
+        # unconfigured pair still raises on every lookup.
+        self._link_cache: Dict[Tuple[str, str], Link] = {}
 
     def machine(self, name: str) -> Machine:
         """Look up a machine by name."""
@@ -105,14 +109,21 @@ class Topology:
 
     def link(self, src: Machine, dst: Machine) -> Link:
         """One-way link characteristics between two machines."""
+        cache_key = (src.name, dst.name)
+        cached = self._link_cache.get(cache_key)
+        if cached is not None:
+            return cached
         if src is dst:
-            return Link(self._local, self._lan_bw)
-        if src.site == dst.site:
-            return Link(self._intra, self._lan_bw)
-        key = (src.site, dst.site)
-        if key not in self._site_latency:
-            raise KeyError(f"no latency configured between {key}")
-        return Link(self._site_latency[key], self._wan_bw)
+            link = Link(self._local, self._lan_bw)
+        elif src.site == dst.site:
+            link = Link(self._intra, self._lan_bw)
+        else:
+            key = (src.site, dst.site)
+            if key not in self._site_latency:
+                raise KeyError(f"no latency configured between {key}")
+            link = Link(self._site_latency[key], self._wan_bw)
+        self._link_cache[cache_key] = link
+        return link
 
     def one_way_ms(self, src: Machine, dst: Machine, size_bytes: int = 0) -> float:
         """Propagation + transmission delay for a message of ``size_bytes``."""

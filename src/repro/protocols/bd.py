@@ -48,19 +48,26 @@ class BdProtocol(KeyAgreementProtocol):
         return [self._message("bd-z", {"z": z}, element_count=1)]
 
     def receive(self, message: ProtocolMessage) -> List[ProtocolMessage]:
-        if self._stale(message):
+        # ``_stale`` and the per-step bookkeeping are inlined with local
+        # bindings: every member receives every other member's two
+        # broadcasts, so this body runs O(n²) times per rekey.
+        view = self.view
+        if view is None or message.epoch != view.view_id:
             return []
-        if message.step == "bd-z":
-            self._z[message.sender] = message.body["z"]
-            if len(self._z) == len(self.view.members):
+        step = message.step
+        if step == "bd-z":
+            z = self._z
+            z[message.sender] = message.body["z"]
+            if len(z) == len(view.members):
                 return [self._second_round()]
             return []
-        if message.step == "bd-x":
-            self._x[message.sender] = message.body["x"]
-            if len(self._x) == len(self.view.members):
+        if step == "bd-x":
+            x = self._x
+            x[message.sender] = message.body["x"]
+            if len(x) == len(view.members):
                 self._derive_key()
             return []
-        raise ValueError(f"unknown BD step {message.step!r}")
+        raise ValueError(f"unknown BD step {step!r}")
 
     def _neighbors(self) -> Dict[str, str]:
         members = self.view.members
@@ -87,9 +94,11 @@ class BdProtocol(KeyAgreementProtocol):
         exponent = self.ctx.exponent_product(n % self.group.q, self._r)
         key = self.ctx.exp(self._z[prev], exponent)
         # X_i^{n-1} * X_{i+1}^{n-2} * ... * X_{i+n-2}^{1}: the hidden cost.
-        for offset in range(n - 1):
-            power = n - 1 - offset
-            factor_owner = members[(i + offset) % n]
-            factor = self.ctx.small_exp(self._x[factor_owner], power)
-            key = self.ctx.mul(key, factor)
-        self._complete(key)
+        # weighted_product charges each factor exactly as a small_exp +
+        # mul pair (same ledger delta as the per-factor loop) while the
+        # descending weights let it compute via prefix products.
+        pairs = [
+            (self._x[members[(i + offset) % n]], n - 1 - offset)
+            for offset in range(n - 1)
+        ]
+        self._complete(self.ctx.weighted_product(key, pairs))

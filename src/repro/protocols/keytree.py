@@ -17,7 +17,6 @@ Secret keys are *local* state: a serialized tree carries blinded keys only
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, Iterable, List, Optional
 
 
@@ -89,6 +88,10 @@ class KeyTree:
         self._leaf_index: Dict[str, TreeNode] = {
             leaf.member: leaf for leaf in self.leaves()
         }
+        # Left-to-right member list, rebuilt lazily after structural
+        # mutations (TGDH consults membership several times per received
+        # message; callers treat the list as read-only).
+        self._members_cache: Optional[List[str]] = None
 
     # -- construction -----------------------------------------------------
 
@@ -106,7 +109,7 @@ class KeyTree:
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if node.is_leaf:
+            if node.member is not None:
                 found.append(node)
             else:
                 stack.append(node.right)
@@ -114,8 +117,11 @@ class KeyTree:
         return found
 
     def members(self) -> List[str]:
-        """Member names, left to right."""
-        return [leaf.member for leaf in self.leaves()]
+        """Member names, left to right (do not mutate the returned list)."""
+        cached = self._members_cache
+        if cached is None:
+            cached = self._members_cache = [leaf.member for leaf in self.leaves()]
+        return cached
 
     def leaf_of(self, member: str) -> TreeNode:
         try:
@@ -163,19 +169,41 @@ class KeyTree:
         hanging a subtree of ``joining_height`` does not increase the
         tree's height; the root if no such node exists."""
         target_height = self.height()
-        # Right-child-first BFS => within a depth, rightmost comes first.
-        # Children are only explored below *unsuitable* nodes: the first
-        # suitable node popped is the answer, so nothing deeper matters.
-        # With cached heights this visits O(unsuitable prefix) nodes, not
-        # the whole tree.
-        queue = deque([(self.root, 0)])
-        while queue:
-            node, depth = queue.popleft()
-            if depth + 1 + max(node.height(), joining_height) <= target_height:
-                return node
-            if not node.is_leaf:
-                queue.append((node.right, depth + 1))
-                queue.append((node.left, depth + 1))
+        # A perfect tree has no suitable node at all (every node sits at
+        # depth + height == target, so hanging anything under it adds a
+        # level) — the BFS below would visit the whole tree just to fall
+        # through to the root.  Perfection is a leaf count of 2^height,
+        # so that worst case — every second join while a group doubles —
+        # is answered in O(1).
+        if len(self._leaf_index) == 1 << target_height:
+            return self.root
+        # A subtree at least as tall as the whole tree can only hang off
+        # the root (any node below it would need depth + 1 + height ≤
+        # height of the tree, impossible at depth ≥ 0) — the other O(1)
+        # common case, merging two grown trees of equal height.
+        if joining_height >= target_height:
+            return self.root
+        # Right-child-first level scan => within a depth, rightmost comes
+        # first.  Children are only explored below *unsuitable* nodes:
+        # the first suitable node seen is the answer, so nothing deeper
+        # matters.  Plain per-level lists — no (node, depth) tuples, no
+        # deque — because batched growth calls this once per joining
+        # member per receiver, and the allocation churn is measurable.
+        level = [self.root]
+        limit = target_height - 1
+        while level:
+            nxt: List[TreeNode] = []
+            for node in level:
+                height = node._height
+                if height < joining_height:
+                    height = joining_height
+                if height <= limit:
+                    return node
+                if node.member is None:
+                    nxt.append(node.right)
+                    nxt.append(node.left)
+            level = nxt
+            limit -= 1
         return self.root
 
     def insert_tree(self, other: "KeyTree") -> TreeNode:
@@ -197,6 +225,7 @@ class KeyTree:
             intermediate.parent = parent
             parent._recompute_height_up()
         self._leaf_index.update(other._leaf_index)
+        self._members_cache = None
         self._invalidate_up(intermediate)
         return intermediate
 
@@ -210,6 +239,7 @@ class KeyTree:
         doomed = set(names)
         if not doomed:
             return []
+        self._members_cache = None
         survivors = [m for m in self.members() if m not in doomed]
         if not survivors:
             raise ValueError("cannot remove every member from the tree")
@@ -241,6 +271,7 @@ class KeyTree:
             # promoted subtree's own keys are still valid (freshness comes
             # from the sponsor's session-random refresh).
             self._invalidate_up(grand)
+        self._members_cache = None
         return promoted
 
     def invalidate_path(self, member: str) -> None:

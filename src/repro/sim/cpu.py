@@ -72,8 +72,30 @@ class Machine:
         if work_ms < 0:
             raise ValueError("work_ms must be non-negative")
         duration = work_ms / self.speed
-        index = min(range(self.cores), key=lambda i: self._core_free[i])
-        start = max(sim.now, not_before, self._core_free[index])
+        # argmin over core free-times, first-wins on ties (as
+        # ``min(range, key=...)`` picked); unrolled because this runs
+        # once per protocol-message handler.  Dual-core machines — the
+        # paper's entire LAN testbed — take the branch-only path.
+        core_free = self._core_free
+        if len(core_free) == 2:
+            if core_free[1] < core_free[0]:
+                index = 1
+                best = core_free[1]
+            else:
+                index = 0
+                best = core_free[0]
+        else:
+            index = 0
+            best = core_free[0]
+            for i in range(1, len(core_free)):
+                free = core_free[i]
+                if free < best:
+                    best = free
+                    index = i
+        now = sim.now
+        start = now if now > not_before else not_before
+        if best > start:
+            start = best
         finish = start + duration
         self._core_free[index] = finish
         self.total_work_ms += duration

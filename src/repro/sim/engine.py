@@ -3,13 +3,23 @@
 All times are virtual milliseconds.  Events scheduled for the same instant
 fire in scheduling order (a monotonic sequence number breaks ties), which
 makes every simulation fully deterministic.
+
+Internally the queue is a *time-bucketed* heap: events are grouped into
+per-instant lists (appended in scheduling order, so seq order is free) and
+the binary heap orders only the distinct times.  Simulations of broadcast
+protocols schedule long runs of events at the same instant — a daemon
+fanning one frame out to n receivers — and draining such a run is a
+pointer walk along one list instead of n ``heappop``s with
+``(time, seq)`` tuple comparisons.  The observable semantics (firing
+order, cancellation, the ``pending`` counters) are identical to a plain
+event heap.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class Event:
@@ -44,16 +54,25 @@ class Event:
 class Simulator:
     """Discrete-event simulator with a millisecond virtual clock."""
 
-    #: lazy heap compaction: rebuild once this many cancelled events sit in
-    #: the heap *and* they outnumber the live ones.
+    #: lazy queue compaction: rebuild once this many cancelled events sit in
+    #: the queue *and* they outnumber the live ones.
     _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        #: events per distinct instant, in scheduling (== seq) order
+        self._buckets: Dict[float, List[Event]] = {}
+        #: heap of the bucket times (exactly one entry per bucket)
+        self._times: List[float] = []
+        #: the bucket currently being drained (already popped from the
+        #: dict, so same-instant events scheduled mid-drain start a fresh
+        #: bucket behind it) and the drain pointer into it
+        self._active: Optional[List[Event]] = None
+        self._active_index = 0
         self._seq = itertools.count()
         self._events_processed = 0
-        self._cancelled_in_heap = 0
+        self._cancelled_in_queue = 0
+        self._queued = 0
 
     @property
     def events_processed(self) -> int:
@@ -63,32 +82,51 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        return self._queued
 
     @property
     def active_pending(self) -> int:
         """Number of queued events that will actually fire.
 
-        ``pending`` counts heap entries, including events cancelled but not
-        yet popped; this is the honest queue depth for tests, benchmarks
-        and the observability gauges.
+        ``pending`` counts queue entries, including events cancelled but
+        not yet consumed; this is the honest queue depth for tests,
+        benchmarks and the observability gauges.
         """
-        return len(self._heap) - self._cancelled_in_heap
+        return self._queued - self._cancelled_in_queue
 
     def _note_cancelled(self) -> None:
         """An owned, still-queued event was cancelled (called by Event)."""
-        self._cancelled_in_heap += 1
+        self._cancelled_in_queue += 1
         if (
-            self._cancelled_in_heap >= self._COMPACT_MIN
-            and self._cancelled_in_heap * 2 > len(self._heap)
+            self._cancelled_in_queue >= self._COMPACT_MIN
+            and self._cancelled_in_queue * 2 > self._queued
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (lazy heap compaction)."""
-        self._heap = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(self._heap)
-        self._cancelled_in_heap = 0
+        """Drop cancelled bucket entries and rebuild the time heap.
+
+        The partially drained active bucket is left alone — its cancelled
+        remainder is skipped (and discounted) as the drain pointer passes
+        it — so compaction is safe even when triggered from inside a
+        firing event.
+        """
+        for time_key in list(self._buckets):
+            live = [e for e in self._buckets[time_key] if not e.cancelled]
+            if live:
+                self._buckets[time_key] = live
+            else:
+                del self._buckets[time_key]
+        self._times = list(self._buckets)
+        heapq.heapify(self._times)
+        remaining = 0
+        cancelled = 0
+        if self._active is not None:
+            tail = self._active[self._active_index :]
+            remaining = len(tail)
+            cancelled = sum(1 for e in tail if e.cancelled)
+        self._queued = sum(map(len, self._buckets.values())) + remaining
+        self._cancelled_in_queue = cancelled
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ms from now."""
@@ -102,57 +140,132 @@ class Simulator:
             raise ValueError(f"cannot schedule at {time} (now is {self.now})")
         event = Event(time, next(self._seq), fn, args)
         event._owner = self
-        heapq.heappush(self._heap, event)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
+        self._queued += 1
         return event
+
+    def _next_live(self) -> Optional[Event]:
+        """The next event that will fire, without consuming it.
+
+        Cancelled entries on the way are consumed (they never fire), and
+        fully drained buckets are replaced by the next time off the heap.
+        """
+        while True:
+            bucket = self._active
+            if bucket is not None:
+                index = self._active_index
+                size = len(bucket)
+                while index < size:
+                    event = bucket[index]
+                    if not event.cancelled:
+                        self._active_index = index
+                        if self._times and self._times[0] < event.time:
+                            # An earlier bucket appeared since this one was
+                            # popped (a ``run(until=...)`` stopped short of
+                            # it, then earlier events were scheduled): put
+                            # the remainder back, ahead of any same-instant
+                            # events scheduled meanwhile (they carry higher
+                            # seqs), and take the earlier bucket instead.
+                            remainder = bucket[index:]
+                            later = self._buckets.get(event.time)
+                            if later is None:
+                                heapq.heappush(self._times, event.time)
+                                self._buckets[event.time] = remainder
+                            else:
+                                self._buckets[event.time] = remainder + later
+                            break
+                        return event
+                    event._owner = None
+                    self._queued -= 1
+                    self._cancelled_in_queue -= 1
+                    index += 1
+                self._active = None
+                self._active_index = 0
+            if not self._times:
+                return None
+            time = heapq.heappop(self._times)
+            self._active = self._buckets.pop(time)
+            self._active_index = 0
+
+    def _consume(self, event: Event) -> None:
+        """Fire ``event`` (the one :meth:`_next_live` just returned)."""
+        self._active_index += 1
+        self._queued -= 1
+        event._owner = None  # out of the queue; cancel() is a no-op now
+        self.now = event.time
+        self._events_processed += 1
+        event.fn(*event.args)
 
     def step(self) -> bool:
         """Fire the next non-cancelled event.  Returns False when idle."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            event._owner = None  # out of the heap; cancel() is a no-op now
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        event = self._next_live()
+        if event is None:
+            return False
+        self._consume(event)
+        return True
 
     def run(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> None:
-        """Run until the event heap drains, ``until`` is reached, or
+        """Run until the event queue drains, ``until`` is reached, or
         ``max_events`` more events have fired.
 
         With ``until`` set, the clock is advanced to exactly ``until`` even
-        if the heap drains earlier, so back-to-back ``run(until=...)`` calls
-        behave like a continuous timeline.
+        if the queue drains earlier, so back-to-back ``run(until=...)``
+        calls behave like a continuous timeline.
         """
         remaining = max_events
-        while self._heap:
+        while True:
             if remaining is not None and remaining <= 0:
-                return
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                head._owner = None
-                self._cancelled_in_heap -= 1
-                continue
-            if until is not None and head.time > until:
                 break
-            self.step()
+            event = self._next_live()
+            if event is None:
+                break
+            if until is not None and event.time > until:
+                break
+            self._consume(event)
             if remaining is not None:
                 remaining -= 1
         if until is not None and until > self.now:
             self.now = until
 
     def run_until_idle(self, max_events: int = 1_000_000) -> None:
-        """Drain the heap completely; guard against runaway simulations."""
+        """Drain the queue completely; guard against runaway simulations.
+
+        Fires at most ``max_events`` events: the guard raises as soon as
+        the budget is exhausted while live events remain, rather than
+        firing one event past it.
+
+        The loop inlines :meth:`step`'s overwhelmingly common case — the
+        active bucket's next entry is live and no earlier-time bucket has
+        appeared — because draining the queue is *the* simulator hot
+        loop; the rare cases (cancelled entry, drained bucket, stranded
+        active bucket) fall back to :meth:`step` unchanged.
+        """
         fired = 0
-        while self.step():
+        while True:
+            bucket = self._active
+            if bucket is not None and self._active_index < len(bucket):
+                event = bucket[self._active_index]
+                times = self._times
+                if not event.cancelled and not (times and times[0] < event.time):
+                    self._active_index += 1
+                    self._queued -= 1
+                    event._owner = None
+                    self.now = event.time
+                    self._events_processed += 1
+                    event.fn(*event.args)
+                elif not self.step():
+                    break
+            elif not self.step():
+                break
             fired += 1
-            if fired > max_events:
+            if fired >= max_events and self.active_pending > 0:
                 raise RuntimeError(
                     f"simulation exceeded {max_events} events; likely a livelock"
                 )

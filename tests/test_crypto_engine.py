@@ -50,6 +50,35 @@ def test_fixed_base_table_falls_back_outside_its_range():
     assert table.pow(-3) == pow(group.g, -3, group.p)
 
 
+def test_fixed_base_table_single_window():
+    # max_bits <= window collapses the table to a single row: every
+    # in-range exponent is one table lookup, no assembly loop.
+    group = GROUP_TEST
+    max_bits = 4
+    table = FixedBaseTable(group.p, group.g, max_bits, window=8)
+    assert table.windows == 1
+    for e in range((1 << max_bits) + 1):  # the last one falls back
+        assert table.pow(e) == pow(group.g, e, group.p)
+
+
+def test_fixed_base_table_boundary_bit_lengths():
+    group = GROUP_TEST
+    max_bits = group.q.bit_length()
+    table = FixedBaseTable(group.p, group.g, max_bits, window=4)
+    at_limit = (1 << max_bits) - 1  # bit_length == max_bits: table path
+    beyond = 1 << max_bits  # bit_length == max_bits + 1: fallback path
+    assert table.pow(at_limit) == pow(group.g, at_limit, group.p)
+    assert table.pow(beyond) == pow(group.g, beyond, group.p)
+
+
+def test_fixed_base_table_rejects_bad_parameters():
+    group = GROUP_TEST
+    with pytest.raises(ValueError):
+        FixedBaseTable(group.p, group.g, group.q.bit_length(), window=0)
+    with pytest.raises(ValueError):
+        FixedBaseTable(group.p, group.g, 0)
+
+
 def test_real_engine_precompute_changes_nothing_numerically():
     ledger_a, ledger_b = OperationLedger(), OperationLedger()
     fast = RealEngine(precompute=True).context(GROUP_512, ledger_a)

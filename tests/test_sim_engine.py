@@ -108,6 +108,37 @@ def test_livelock_guard():
         sim.run_until_idle(max_events=100)
 
 
+def test_run_until_idle_budget_is_exact():
+    # Regression: the guard used to fire max_events + 1 events before
+    # raising.  A queue of exactly max_events drains cleanly ...
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i, lambda: None)
+    sim.run_until_idle(max_events=5)
+    assert sim.events_processed == 5
+    # ... and one event more raises after the budget, not past it.
+    sim = Simulator()
+    for i in range(6):
+        sim.schedule(i, lambda: None)
+    with pytest.raises(RuntimeError):
+        sim.run_until_idle(max_events=5)
+    assert sim.events_processed == 5
+    assert sim.active_pending == 1
+
+
+def test_run_until_then_earlier_schedule_fires_in_order():
+    # A run(until=...) that stops short of a queued event must not let
+    # that event jump ahead of ones scheduled later at earlier times.
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, "late")
+    sim.run(until=10)
+    sim.schedule_at(20, fired.append, "early")
+    sim.schedule_at(50, fired.append, "later-seq")
+    sim.run_until_idle()
+    assert fired == ["early", "late", "later-seq"]
+
+
 def test_events_processed_counter():
     sim = Simulator()
     for i in range(4):
