@@ -11,7 +11,10 @@ One subcommand per job, all sharing the same core options
     python -m repro.bench trace --protocol TGDH --size 16 --event join \
         -o trace.json                            # Chrome/Perfetto trace
     python -m repro.bench report --protocol BD --size 13 --event leave
+    python -m repro.bench report --critical-path # append blocking chains
+    python -m repro.bench critpath --protocol GDH --size 8 --event leave
     python -m repro.bench scale                  # join/leave up to n=1024
+    python -m repro.bench scale --observe        # + rekey percentile table
     python -m repro.bench scale --sizes 32 128 512 --protocols TGDH STR
     python -m repro.bench scale --jobs 4         # shard cells over 4 workers
     python -m repro.bench chaos                  # rekeying under link faults
@@ -71,7 +74,14 @@ from repro.bench.series import (
     sweep_group_sizes_parallel,
 )
 from repro.gcs.topology import TESTBEDS
-from repro.obs import MetricsRegistry, render_report, validate_chrome_trace
+from repro.obs import (
+    MetricsRegistry,
+    render_critical_paths,
+    render_percentiles,
+    render_report,
+    timeline_critical_paths,
+    validate_chrome_trace,
+)
 
 PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
 
@@ -79,7 +89,8 @@ TOPOLOGIES = TESTBEDS
 
 #: The subcommand surface (a leading ``--`` selects the legacy flags).
 SUBCOMMANDS = (
-    "figure", "table", "trace", "report", "scale", "chaos", "compare", "profile",
+    "figure", "table", "trace", "report", "critpath", "scale", "chaos",
+    "compare", "profile",
 )
 
 #: figure number -> list of (title, testbed name, event, dh group)
@@ -265,6 +276,19 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "decomposition, reconciled against the rekey timeline",
     )
     _add_event_options(report)
+    report.add_argument(
+        "--critical-path", dest="critical_path", action="store_true",
+        help="append the per-epoch critical-path blocking chains "
+        "(the causal walk backwards from each key-install)",
+    )
+
+    critpath = sub.add_parser(
+        "critpath", parents=[build_common_parser()],
+        help="trace one membership event and print, per epoch, the exact "
+        "chain of spans that blocked the last key install, plus the "
+        "rekey-latency percentile table",
+    )
+    _add_event_options(critpath)
 
     scale = sub.add_parser(
         "scale", parents=[build_common_parser()],
@@ -282,6 +306,12 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     _add_testbed_options(scale)
     scale.add_argument(
         "--repeats", type=int, default=1, help="events averaged per size"
+    )
+    scale.add_argument(
+        "--observe", action="store_true",
+        help="run cells with tracing enabled and print the merged "
+        "rekey-latency percentile table (observability is passive, so "
+        "the measured times are unchanged)",
     )
     _add_pool_options(scale)
     scale.set_defaults(engine="symbolic", out="BENCH_scale.json")
@@ -459,6 +489,7 @@ def run_scale_command(args) -> int:
         engine=args.engine,
         repeats=args.repeats,
         seed=args.seed,
+        observe=args.observe,
         progress=lambda line: print(f"  {line}", flush=True),
         metrics=metrics,
         **_pool_kwargs(args),
@@ -476,6 +507,11 @@ def run_scale_command(args) -> int:
     )
     print()
     print(render_scale_table(measurements))
+    if args.observe:
+        print()
+        print(render_percentiles(
+            metrics.log_histograms(), "Rekey latency percentiles (ms)"
+        ))
     print(f"\nwrote {args.out}: {len(measurements)} measurements")
     _print_pool_stats(metrics)
     return 0
@@ -677,7 +713,36 @@ def run_report_command(args) -> int:
         f"{args.event} at n={args.size}, {args.protocol}, {args.dh_group}, "
         f"{framework.world.topology.name}"
     )
-    _emit(args, [render_report(framework.timeline, framework.obs.spans, title)])
+    lines = [render_report(framework.timeline, framework.obs.spans, title)]
+    if getattr(args, "critical_path", False):
+        paths = timeline_critical_paths(framework.timeline, framework.obs.spans)
+        lines.append("")
+        lines.append(render_critical_paths(paths))
+    _emit(args, lines)
+    _dump_gcs_trace(args, framework)
+    return 0
+
+
+def run_critpath_command(args) -> int:
+    framework = _run_observed_event(args)
+    title = (
+        f"Critical paths: {args.event} at n={args.size}, {args.protocol}, "
+        f"{args.dh_group}, {framework.world.topology.name}"
+    )
+    paths = timeline_critical_paths(framework.timeline, framework.obs.spans)
+    lines = [title, "", render_critical_paths(paths), ""]
+    lines.append(render_percentiles(
+        framework.obs.metrics.log_histograms(),
+        "Rekey latency percentiles (ms)",
+    ))
+    spans = framework.obs.spans
+    if spans.dropped:
+        lines.append(
+            f"\n!! WARNING: span recorder dropped {spans.dropped} span(s) "
+            f"(capacity {spans.capacity}); the chains above may be "
+            f"truncated.  Re-run with a larger span capacity."
+        )
+    _emit(args, lines)
     _dump_gcs_trace(args, framework)
     return 0
 
@@ -692,6 +757,8 @@ def run_subcommand(argv: Sequence[str]) -> int:
         return run_trace_command(args)
     if args.command == "report":
         return run_report_command(args)
+    if args.command == "critpath":
+        return run_critpath_command(args)
     if args.command == "scale":
         return run_scale_command(args)
     if args.command == "compare":

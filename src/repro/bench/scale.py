@@ -83,10 +83,16 @@ def run_scale_cell(
     ``{"join": EventMeasurement dict, "leave": EventMeasurement dict}``
     — JSON-ready, so the cell can cross process boundaries and live in
     the result cache.
+
+    With ``spec["observe"]`` set the cell runs fully traced and folds the
+    framework's own metrics (notably the ``member.rekey_ms`` latency
+    histograms) into the caller's registry; observability is passive, so
+    the measured times are identical either way.
     """
     registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
     size = int(spec["group_size"])
     repeats = int(spec.get("repeats", 1))
+    observe = bool(spec.get("observe", False))
     max_events = int(spec.get("max_events", LARGE_RUN_MAX_EVENTS))
     espec = ExperimentSpec(
         protocol=spec["protocol"],
@@ -98,7 +104,7 @@ def run_scale_cell(
         seed=int(spec.get("seed", 0)),
         engine=spec.get("engine", "symbolic"),
     )
-    framework = espec.build_framework(observe=False)
+    framework = espec.build_framework(observe=observe)
     members = grow_group_batched(framework, size, max_events=max_events)
     principals = list(members)
     machines = len(framework.world.topology.machines)
@@ -140,6 +146,8 @@ def run_scale_cell(
     registry.histogram(
         "bench.cell.sim_ms", kind="scale", protocol=espec.protocol
     ).observe(sum(join_totals) + sum(leave_totals))
+    if observe:
+        registry.merge_snapshot(framework.obs.metrics.snapshot())
     result = {}
     for event, totals, memberships, ops in (
         ("join", join_totals, join_memberships, join_ops),
@@ -168,6 +176,7 @@ def scale_cells(
     engine="symbolic",
     repeats: int = 1,
     seed: int = 0,
+    observe: bool = False,
     max_events: int = LARGE_RUN_MAX_EVENTS,
 ) -> List[Cell]:
     """The sweep's cell grid, protocol-major with sizes ascending."""
@@ -182,6 +191,7 @@ def scale_cells(
                 "repeats": repeats,
                 "seed": seed,
                 "engine": engine,
+                "observe": observe,
                 "max_events": max_events,
             }
 
@@ -204,6 +214,7 @@ def run_scale(
     engine="symbolic",
     repeats: int = 1,
     seed: int = 0,
+    observe: bool = False,
     max_events: int = LARGE_RUN_MAX_EVENTS,
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = 1,
@@ -230,6 +241,7 @@ def run_scale(
         engine=engine,
         repeats=repeats,
         seed=seed,
+        observe=observe,
         max_events=max_events,
     )
     results = run_cells(

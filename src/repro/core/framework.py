@@ -18,7 +18,7 @@ from repro.crypto.rng import DeterministicRandom
 from repro.crypto.rsa import RsaPublicKey
 from repro.gcs.topology import Topology
 from repro.gcs.world import GcsWorld
-from repro.obs import Observability
+from repro.obs import DEFAULT_CAPACITY, Observability
 from repro.protocols import PROTOCOLS
 from repro.protocols.base import KeyAgreementProtocol
 
@@ -39,6 +39,7 @@ class SecureSpreadFramework:
         observe: bool = False,
         engine: EngineSpec = None,
         stall_timeout_ms: Optional[float] = None,
+        span_capacity: int = DEFAULT_CAPACITY,
     ):
         if default_protocol not in PROTOCOLS:
             raise ValueError(
@@ -51,7 +52,7 @@ class SecureSpreadFramework:
         self.engine = get_engine(engine)
         #: the deployment's flight recorder (spans + metrics); recording is
         #: passive, so enabling it never changes any measured time.
-        self.obs = Observability(enabled=observe)
+        self.obs = Observability(enabled=observe, span_capacity=span_capacity)
         self.world = GcsWorld(topology, trace=trace, obs=self.obs)
         self.group: SchnorrGroup = get_group(dh_group)
         self.cost_model = cost_model or pentium3_666()
@@ -130,12 +131,23 @@ class SecureSpreadFramework:
     def mark_event(self) -> None:
         """Mark "now" as a membership event's injection instant (both on
         the :class:`~repro.core.timing.RekeyTimeline` and, when
-        observability is on, as a trace instant)."""
+        observability is on, as a trace instant).
+
+        The instant is also a trace *root*: it opens a fresh trace id and
+        becomes the ambient cause, so every span the event sets in motion
+        — frames, token waits, CPU batches, the final key installs —
+        carries the same trace id and parents back to this vertex.
+        """
         self.timeline.mark_event(self.now)
         if self.obs.enabled:
+            causality = self.obs.causality
+            trace = causality.begin_trace()
+            span_id = causality.new_span_id()
             self.obs.instant(
-                "membership", "event injected", "world", "world", self.now
+                "membership", "event injected", "world", "world", self.now,
+                span_id=span_id, trace_id=trace,
             )
+            causality.adopt((span_id, trace))
 
     # -- running ----------------------------------------------------------------
 

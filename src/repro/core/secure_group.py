@@ -74,6 +74,11 @@ class SecureGroupMember:
         self._sim = framework.world.sim
         self._cost_model = framework.cost_model
         self._sign_for_real = framework.sign_for_real
+        # Cause of this member's most recent CPU span (None when obs is
+        # off or nothing ran yet): the parent for work serialized behind
+        # our own CPU tail, and for the transmit/install events that fire
+        # when that tail completes.
+        self._last_cpu_span: Optional[Tuple[int, int]] = None
         self._ciphers: Dict[Tuple[int, int], GroupCipher] = {}
         self._current_epoch: Optional[Tuple[int, int]] = None
         self._outbound_queue: List[bytes] = []
@@ -278,6 +283,7 @@ class SecureGroupMember:
         self, view: View, outputs: List[ProtocolMessage]
     ) -> None:
         sim = self._sim
+        obs_on = self.obs.enabled
         for pmsg in outputs:
             # Signing advances our CPU timeline; the message leaves only
             # once the signature is paid for.  The attempt is captured now:
@@ -286,19 +292,25 @@ class SecureGroupMember:
             signature = self._sign(pmsg)
             tail = self._cpu_tail
             now = sim.now
-            sim.schedule_at(
+            event = sim.schedule_at(
                 tail if tail > now else now,
                 self._transmit,
                 pmsg,
                 signature,
                 self._attempt,
             )
+            if obs_on and self._last_cpu_span is not None:
+                # The send fires when the signing batch completes; that
+                # span, not the handler that scheduled us, is its cause.
+                event.cause = self._last_cpu_span
         if self.protocol.done_for(view):
             tail = self._cpu_tail
             now = sim.now
-            sim.schedule_at(
+            event = sim.schedule_at(
                 tail if tail > now else now, self._install_epoch, view
             )
+            if obs_on and self._last_cpu_span is not None:
+                event.cause = self._last_cpu_span
 
     def _sign(self, pmsg: ProtocolMessage):
         span = None
@@ -306,7 +318,7 @@ class SecureGroupMember:
         if self.obs.enabled:
             span = (
                 "crypto", f"sign {pmsg.protocol}.{pmsg.step}", self.name,
-                {"epoch": str(pmsg.epoch)},
+                {"epoch": str(pmsg.epoch), "step": pmsg.step, "phase": "sign"},
             )
             before = self.protocol.ledger.snapshot()
         if not self.framework.sign_for_real:
@@ -324,8 +336,11 @@ class SecureGroupMember:
         # Re-charge the CPU for the signature itself.
         cost = self.framework.cost_model.sign_ms
         self._cpu_tail = self.machine.submit(
-            self.sim, cost, not_before=self._cpu_tail, span=span
+            self.sim, cost, not_before=self._cpu_tail, span=span,
+            chain=self._last_cpu_span,
         )
+        if span is not None:
+            self._last_cpu_span = self.obs.causality.last_cpu_span
         return signature
 
     def _transmit(self, pmsg: ProtocolMessage, signature, attempt: int = 0) -> None:
@@ -358,13 +373,30 @@ class SecureGroupMember:
             del self._ciphers[oldest]
         self.framework.timeline.record_key(view.view_id, self.name, self.sim.now)
         if self.obs.enabled:
-            seen = self._view_seen_at.get(view.view_id, self.sim.now)
+            now = self.sim.now
+            seen = self._view_seen_at.get(view.view_id, now)
             self.obs.span(
                 "epoch", f"rekey {self.protocol.name}", self.name,
-                self.machine.name, seen, self.sim.now,
+                self.machine.name, seen, now,
                 epoch=str(view.view_id), members=len(view.members),
                 event=view.event.name,
             )
+            # The trace's terminal vertex: the critical-path walk starts
+            # here and follows parent edges back to the injected event.
+            self.obs.caused_instant(
+                "epoch", "key-install", self.name, self.machine.name, now,
+                epoch=str(view.view_id), member=self.name,
+                protocol=self.protocol.name,
+            )
+            elapsed = now - seen
+            self.obs.log_histogram(
+                "member.rekey_ms",
+                group=self.group_name, protocol=self.protocol.name,
+            ).observe(elapsed)
+            self.obs.series(
+                "member.rekey_ms",
+                group=self.group_name, protocol=self.protocol.name,
+            ).record(now, elapsed)
         while len(self._view_seen_at) > _CIPHER_HISTORY:
             del self._view_seen_at[min(self._view_seen_at)]
         self.secure_views.append(view)
@@ -511,14 +543,23 @@ class SecureGroupMember:
         if self.obs.enabled:
             view = self.protocol.view
             epoch = str(view.view_id) if view is not None else "?"
-            span = ("crypto", label, self.name, {"epoch": epoch})
+            step = label.split(".", 1)[-1]
+            span = (
+                "crypto", label, self.name,
+                {
+                    "epoch": epoch, "step": step,
+                    "phase": self.protocol.phase_of(step),
+                },
+            )
             record_op_counts(
                 self.obs.metrics, delta, member=self.name, epoch=epoch
             )
         self._cpu_tail = self.machine.submit(
             self.sim, cost, not_before=max(self._cpu_tail, self.sim.now),
-            span=span,
+            span=span, chain=self._last_cpu_span,
         )
+        if span is not None:
+            self._last_cpu_span = self.obs.causality.last_cpu_span
         return outputs
 
 

@@ -115,6 +115,12 @@ class Daemon:
         self._nack_rotation = 0
         self.retransmit_requests = 0
         self.retransmits_served = 0
+        # Causal provenance of the first arrival of each frame, keyed
+        # (config_id, seq).  The zero-delay delivery scan dedupes across
+        # frames, so the scan event's own cause names only the *first*
+        # frame of the instant; this map lets each delivered message
+        # adopt the cause of the frame that actually carried it.
+        self._arrival: Dict[Tuple[Any, int], Any] = {}
 
     # ------------------------------------------------------------------
     # bootstrap / client connections
@@ -159,6 +165,10 @@ class Daemon:
         """Accept a message from a local client for dissemination."""
         if self._crashed:
             return  # a crash severs in-flight IPC; the message is lost
+        if message.cause is None and self.world.obs.enabled:
+            # Stamp once: a configuration-change resubmit keeps the
+            # original sender-side cause, not the resubmit context.
+            message.cause = self.world.obs.causality.current
         if message.service is Service.AGREED:
             if self._frozen:
                 self._send_queue.append(message)
@@ -201,6 +211,11 @@ class Daemon:
             now, "sequence", f"d{self.daemon_id}", seq=seq, at=sequenced_at,
             kind=message.kind, group=message.group,
         )
+        if self.world.obs.enabled:
+            # This fires at a token-visit event, whose cause is the ring's
+            # own machinery; the frames about to go out were caused by the
+            # *send* that produced the message, so adopt that instead.
+            self.world.obs.causality.adopt(message.cause)
         self.world.network.broadcast_frame(
             self.daemon_id,
             config.daemon_ids,
@@ -242,6 +257,12 @@ class Daemon:
         ):
             return  # duplicate of an already-delivered frame
         self._recv.setdefault(smsg.config_id, {})[smsg.seq] = smsg
+        if self.world.obs.enabled:
+            # First arrival wins: a fault duplicate or a NACK-served
+            # retransmit must not re-parent an already-recorded frame.
+            self._arrival.setdefault(
+                (smsg.config_id, smsg.seq), self.world.obs.causality.current
+            )
         if self.config and smsg.config_id == self.config.config_id:
             # One zero-delay delivery scan per instant: frames landing at
             # the same time were all scheduled before this event, so the
@@ -303,9 +324,24 @@ class Daemon:
             group=message.group, sender=message.sender,
         )
         if self.world.obs.enabled:
-            self.world.obs.counter(
+            obs = self.world.obs
+            obs.counter(
                 "daemon.delivered", daemon=f"d{self.daemon_id}", kind=message.kind
             ).inc()
+            # Re-enter the causal context of the frame that carried this
+            # message (the scan event's own cause only names the first
+            # frame of the instant), then record delivery as a DAG vertex
+            # everything downstream — view emission, client IPC — hangs
+            # off.  A flush delivery with no local arrival keeps the
+            # ambient (config-install) cause, which is what it waited on.
+            key = (smsg.config_id, smsg.seq)
+            if key in self._arrival:
+                obs.causality.adopt(self._arrival.pop(key))
+            node = obs.caused_instant(
+                "gcs", "deliver", f"d{self.daemon_id}", self.machine.name,
+                self.world.sim.now, seq=smsg.seq, kind=message.kind,
+            )
+            obs.causality.adopt(node)
         if message.kind in ("join", "leave", "disconnect"):
             self._apply_membership(smsg)
         else:
@@ -472,6 +508,7 @@ class Daemon:
         self._accepts = {}
         self._nack_armed_for = None
         self._last_propose_token = None
+        self._arrival = {}
         self.world.tracer.record(
             self.world.sim.now, "crash", f"d{self.daemon_id}"
         )
@@ -540,12 +577,19 @@ class Daemon:
 
     def _emit_view(self, view: View, also_to: Tuple[str, ...] = ()) -> None:
         params = self.world.params
-        if self.world.obs.enabled:
-            self.world.obs.instant(
+        obs = self.world.obs if self.world.obs.enabled else None
+        prior = None
+        if obs is not None:
+            # The view instant joins the DAG; adopting it parents the
+            # clients' scheduled ``_on_view`` events (stamped by the
+            # cause hook) under the view delivery they waited on.
+            prior = obs.causality.current
+            node = obs.caused_instant(
                 "gcs", f"view {view.event.name.lower()}",
                 f"d{self.daemon_id}", self.machine.name, self.world.sim.now,
                 epoch=view.view_id, members=len(view.members),
             )
+            obs.causality.adopt(node)
         wanted = set(view.members)
         wanted.update(also_to)
         recipients = [
@@ -559,6 +603,11 @@ class Daemon:
                 client._on_view,
                 view,
             )
+        if obs is not None:
+            # Restore so sibling views emitted by the same event (a
+            # heavyweight install touching several groups) do not chain
+            # under each other.
+            obs.causality.adopt(prior)
 
     # ------------------------------------------------------------------
     # heavyweight (daemon configuration) membership
@@ -717,6 +766,11 @@ class Daemon:
         self._recv = {config.config_id: self._recv[config.config_id]}
         self._sent = {config.config_id: {}}
         self._history = {}
+        self._arrival = {
+            key: cause
+            for key, cause in self._arrival.items()
+            if key[0] == config.config_id
+        }
         self._nack_armed_for = None
         self._delivered = 0
         self._frozen = False

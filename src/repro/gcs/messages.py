@@ -50,6 +50,14 @@ class GroupMessage:
     kind: str = "data"  # "data" | "join" | "leave" | "disconnect"
     target: Optional[str] = None
     msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
+    #: causal provenance (``(span_id, trace_id)`` or None): the cause
+    #: active when the sender submitted the message.  Stamped once by
+    #: :meth:`repro.gcs.daemon.Daemon.submit` and carried through
+    #: sequencing and dissemination (including configuration-change
+    #: resubmits, which preserve the original), so a frame's recorded
+    #: spans parent under the send that produced it — pure metadata,
+    #: never consulted by any delivery decision.
+    cause: Optional[Tuple[int, int]] = None
 
 
 @dataclass(frozen=True)

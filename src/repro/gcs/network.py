@@ -216,16 +216,24 @@ class Network:
                 self.tracer.record(
                     self.sim.now, "fault-drop", f"d{src_id}", dst=dst_id
                 )
+                drop_cause = None
                 if self.obs.enabled:
                     self.obs.counter(
                         "net.fault_drops", src=f"d{src_id}", dst=f"d{dst_id}"
                     ).inc()
+                    # The drop joins the DAG so a retried frame's spans
+                    # parent under the loss that caused the retry.
+                    drop_cause = self.obs.caused_instant(
+                        "net", f"fault-drop d{src_id}->d{dst_id}",
+                        f"d{src_id}", self._daemons[src_id].machine.name,
+                        self.sim.now, dst=dst_id, attempt=_attempt,
+                    )
                 if (
                     retry_faults
                     and _attempt < self.topology.params.retransmit_retries
                 ):
                     self.fault_retries += 1
-                    self.sim.schedule(
+                    retry_event = self.sim.schedule(
                         self.topology.params.retransmit_timeout_ms,
                         self._retry_send,
                         src_id,
@@ -236,6 +244,8 @@ class Network:
                         control,
                         _attempt + 1,
                     )
+                    if drop_cause is not None:
+                        retry_event.cause = drop_cause
                 return None
             fault_delay_ms = verdict.extra_delay_ms
             duplicate_delay_ms = verdict.duplicate_delay_ms
@@ -246,15 +256,18 @@ class Network:
         latency += self.topology.params.msg_processing_ms + extra_delay_ms
         latency += fault_delay_ms
         event = self.sim.schedule(latency, fn, *args)
+        duplicate_event = None
         if duplicate_delay_ms is not None:
             self.fault_duplicates += 1
-            self.sim.schedule(latency + duplicate_delay_ms, fn, *args)
+            duplicate_event = self.sim.schedule(
+                latency + duplicate_delay_ms, fn, *args
+            )
         if self.obs.enabled:
             link = dict(src=f"d{src_id}", dst=f"d{dst_id}")
             self.obs.counter("net.frames", **link).inc()
             self.obs.counter("net.bytes", **link).inc(size_bytes)
             self.obs.histogram("net.latency_ms", **link).observe(latency)
-            self.obs.span(
+            cause = self.obs.caused_span(
                 "net",
                 f"frame d{src_id}->d{dst_id}",
                 f"d{src_id}",
@@ -264,6 +277,12 @@ class Network:
                 dst=dst_id,
                 bytes=size_bytes,
             )
+            if cause is not None:
+                # Delivery (and any fault duplicate) was caused by the
+                # frame in flight, not by the sender's ambient context.
+                event.cause = cause
+                if duplicate_event is not None:
+                    duplicate_event.cause = cause
         return event.time
 
     def broadcast_frame(

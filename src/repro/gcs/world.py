@@ -33,6 +33,10 @@ class GcsWorld:
         self.sim = Simulator()
         self.tracer = Tracer(enabled=trace)
         self.obs = obs or Observability(enabled=False)
+        if self.obs.enabled:
+            # Thread causal context along the event graph: scheduling
+            # stamps the ambient cause on each event, firing restores it.
+            self.sim.cause_hook = self.obs.causality
         for machine in topology.machines:
             machine.obs = self.obs
         self.network = Network(self.sim, topology, self.tracer, obs=self.obs)

@@ -18,12 +18,22 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
+from repro.obs.causality import Causality, Cause
+from repro.obs.critpath import (
+    CriticalPath,
+    CriticalSegment,
+    critical_path,
+    render_critical_paths,
+    timeline_critical_paths,
+)
 from repro.obs.export import (
+    JSONL_SCHEMA_VERSION,
     spans_to_jsonl,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.histo import LogHistogram, TimeSeries, render_percentiles
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -41,21 +51,32 @@ from repro.obs.report import (
 from repro.obs.spans import DEFAULT_CAPACITY, Span, SpanRecorder, busy_time
 
 __all__ = [
+    "Causality",
+    "Cause",
     "Counter",
+    "CriticalPath",
+    "CriticalSegment",
     "Gauge",
     "Histogram",
+    "JSONL_SCHEMA_VERSION",
+    "LogHistogram",
     "MetricsRegistry",
     "Observability",
     "PhaseBreakdown",
     "Span",
     "SpanRecorder",
+    "TimeSeries",
     "busy_time",
+    "critical_path",
     "epoch_breakdown",
     "record_op_counts",
     "render_breakdowns",
+    "render_critical_paths",
+    "render_percentiles",
     "render_report",
     "spans_to_jsonl",
     "timeline_breakdowns",
+    "timeline_critical_paths",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
@@ -71,6 +92,10 @@ class Observability:
         self.enabled = enabled
         self.spans = SpanRecorder(enabled=enabled, capacity=span_capacity)
         self.metrics = MetricsRegistry(enabled=enabled)
+        #: causal context (span/trace ids); install as
+        #: :attr:`repro.sim.engine.Simulator.cause_hook` to thread causes
+        #: through the event graph.
+        self.causality = Causality()
 
     # Convenience pass-throughs so call-sites read naturally.
 
@@ -92,6 +117,40 @@ class Observability:
     ) -> None:
         self.spans.instant(category, name, actor, proc, time, **attrs)
 
+    def caused_span(
+        self,
+        category: str,
+        name: str,
+        actor: str,
+        proc: str,
+        start: float,
+        end: float,
+        **attrs: Any,
+    ):
+        """Record a span parented under the ambient cause and return its
+        own cause (None outside a trace); callers adopt the returned
+        cause when subsequent activity waits on this span."""
+        causality = self.causality
+        parent = causality.current
+        cause = causality.sprout()
+        self.spans.record(
+            category, name, actor, proc, start, end,
+            span_id=cause[0] if cause else None,
+            parent_id=parent[0] if parent else None,
+            trace_id=cause[1] if cause else None,
+            **attrs,
+        )
+        return cause
+
+    def caused_instant(
+        self, category: str, name: str, actor: str, proc: str, time: float,
+        **attrs: Any,
+    ):
+        """Instant-marker variant of :meth:`caused_span`."""
+        return self.caused_span(
+            category, name, actor, proc, time, time, **attrs
+        )
+
     def counter(self, name: str, **labels: Any):
         return self.metrics.counter(name, **labels)
 
@@ -100,6 +159,12 @@ class Observability:
 
     def histogram(self, name: str, **labels: Any):
         return self.metrics.histogram(name, **labels)
+
+    def log_histogram(self, name: str, **labels: Any):
+        return self.metrics.log_histogram(name, **labels)
+
+    def series(self, name: str, **labels: Any):
+        return self.metrics.series(name, **labels)
 
     # -- export -----------------------------------------------------------
 
@@ -120,6 +185,7 @@ class Observability:
     def clear(self) -> None:
         self.spans.clear()
         self.metrics.clear()
+        self.causality.reset()
 
 
 #: A shared disabled instance for layers constructed without observability.

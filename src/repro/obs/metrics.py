@@ -17,7 +17,10 @@ simulator events, so metrics collection cannot change any measured time.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.histo import SERIES_CAPACITY, LogHistogram, TimeSeries
 
 LabelSet = Tuple[Tuple[str, str], ...]
 
@@ -27,19 +30,39 @@ def _labelset(labels: Dict[str, Any]) -> LabelSet:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "labels", "value")
+    Locally observed amounts accumulate in a plain float (the ``inc``
+    hot path); totals folded in from worker-shard snapshots are kept as
+    a list of partials and summed with :func:`math.fsum`, which is
+    correctly rounded over the multiset — so a pool merge yields the
+    identical float no matter which worker finished first.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_merged")
 
     def __init__(self, name: str, labels: LabelSet):
         self.name = name
         self.labels = labels
-        self.value = 0.0
+        self._value = 0.0
+        self._merged: List[float] = []
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        self._value += amount
+
+    def merge(self, value: float) -> None:
+        """Fold a shard's counter total in (order-independent)."""
+        if value < 0:
+            raise ValueError("counters only go up")
+        self._merged.append(value)
+
+    @property
+    def value(self) -> float:
+        if not self._merged:
+            return self._value
+        return math.fsum(self._merged) + self._value
 
 
 class Gauge:
@@ -63,21 +86,26 @@ class Gauge:
 
 
 class Histogram:
-    """Summary statistics over observed virtual-time values."""
+    """Summary statistics over observed virtual-time values.
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max")
+    Merged shard totals are fsum partials, like :class:`Counter`, so
+    :meth:`merge` commutes bit-exactly.
+    """
+
+    __slots__ = ("name", "labels", "count", "_total", "_merged", "min", "max")
 
     def __init__(self, name: str, labels: LabelSet):
         self.name = name
         self.labels = labels
         self.count = 0
-        self.total = 0.0
+        self._total = 0.0
+        self._merged: List[float] = []
         self.min: Optional[float] = None
         self.max: Optional[float] = None
 
     def observe(self, value: float) -> None:
         self.count += 1
-        self.total += value
+        self._total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
@@ -90,11 +118,17 @@ class Histogram:
     ) -> None:
         """Fold another histogram's summary into this one (worker merge)."""
         self.count += count
-        self.total += total
+        self._merged.append(total)
         if minimum is not None:
             self.min = minimum if self.min is None else min(self.min, minimum)
         if maximum is not None:
             self.max = maximum if self.max is None else max(self.max, maximum)
+
+    @property
+    def total(self) -> float:
+        if not self._merged:
+            return self._total
+        return math.fsum(self._merged) + self._total
 
     @property
     def mean(self) -> float:
@@ -116,6 +150,9 @@ class _Noop:
     def observe(self, value: float) -> None:
         pass
 
+    def record(self, time: float, value: float) -> None:
+        pass
+
 
 _NOOP = _Noop()
 
@@ -128,6 +165,8 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+        self._log_histograms: Dict[Tuple[str, LabelSet], LogHistogram] = {}
+        self._series: Dict[Tuple[str, LabelSet], TimeSeries] = {}
 
     def counter(self, name: str, **labels: Any) -> Counter:
         if not self.enabled:
@@ -156,6 +195,34 @@ class MetricsRegistry:
             instrument = self._histograms[key] = Histogram(name, key[1])
         return instrument
 
+    def log_histogram(self, name: str, **labels: Any) -> LogHistogram:
+        """Get-or-create a :class:`~repro.obs.histo.LogHistogram`."""
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        key = (name, _labelset(labels))
+        instrument = self._log_histograms.get(key)
+        if instrument is None:
+            instrument = self._log_histograms[key] = LogHistogram(name, key[1])
+        return instrument
+
+    def series(
+        self, name: str, *, capacity: int = SERIES_CAPACITY, **labels: Any
+    ) -> TimeSeries:
+        """Get-or-create a bounded :class:`~repro.obs.histo.TimeSeries`."""
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        key = (name, _labelset(labels))
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = self._series[key] = TimeSeries(
+                name, key[1], capacity=capacity
+            )
+        return instrument
+
+    def log_histograms(self) -> List[LogHistogram]:
+        """Every log histogram held, in sorted (name, labels) order."""
+        return [h for _, h in sorted(self._log_histograms.items())]
+
     # -- aggregation ------------------------------------------------------
 
     def counter_total(self, name: str, **labels: Any) -> float:
@@ -175,6 +242,10 @@ class MetricsRegistry:
             yield "gauge", name, labels, g
         for (name, labels), h in sorted(self._histograms.items()):
             yield "histogram", name, labels, h
+        for (name, labels), lh in sorted(self._log_histograms.items()):
+            yield "log_histogram", name, labels, lh
+        for (name, labels), s in sorted(self._series.items()):
+            yield "series", name, labels, s
 
     def snapshot(self) -> List[Dict[str, Any]]:
         """JSON-ready dump of every instrument."""
@@ -191,6 +262,21 @@ class MetricsRegistry:
                     max=instrument.max,
                     mean=instrument.mean,
                 )
+            elif kind == "log_histogram":
+                row.update(
+                    buckets=dict(instrument.buckets),
+                    zero_count=instrument.zero_count,
+                    count=instrument.count,
+                    total=instrument.total,
+                    min=instrument.min,
+                    max=instrument.max,
+                )
+            elif kind == "series":
+                row.update(
+                    capacity=instrument.capacity,
+                    points=[list(p) for p in instrument.points()],
+                    recorded=instrument.recorded,
+                )
             else:
                 row["value"] = instrument.value
             rows.append(row)
@@ -202,10 +288,13 @@ class MetricsRegistry:
         This is how benchmark worker processes report back: each worker
         runs its cell against a fresh registry, ships
         ``registry.snapshot()`` across the process boundary, and the
-        pool merges the rows here.  Counters and histograms accumulate;
-        gauges take the incoming value (last merge wins, matching their
-        point-in-time semantics).  A disabled registry ignores merges,
-        like every other recording path.
+        pool merges the rows here.  Counters and histograms (plain and
+        log-bucketed) accumulate *order-independently* — float totals
+        are folded as fsum partials, so shards merged in any completion
+        order produce bit-identical snapshots.  Gauges take the incoming
+        value (last merge wins, matching their point-in-time semantics —
+        the one deliberately order-sensitive kind).  A disabled registry
+        ignores merges, like every other recording path.
         """
         if not self.enabled:
             return
@@ -213,18 +302,31 @@ class MetricsRegistry:
             labels = row.get("labels", {})
             kind = row.get("kind")
             if kind == "counter":
-                self.counter(row["name"], **labels).inc(row["value"])
+                self.counter(row["name"], **labels).merge(row["value"])
             elif kind == "gauge":
                 self.gauge(row["name"], **labels).set(row["value"])
             elif kind == "histogram":
                 self.histogram(row["name"], **labels).merge(
                     row["count"], row["total"], row["min"], row["max"]
                 )
+            elif kind == "log_histogram":
+                self.log_histogram(row["name"], **labels).merge(
+                    row["buckets"], row["zero_count"], row["count"],
+                    row["total"], row["min"], row["max"],
+                )
+            elif kind == "series":
+                self.series(
+                    row["name"],
+                    capacity=int(row.get("capacity", SERIES_CAPACITY)),
+                    **labels,
+                ).merge(row["points"], row["recorded"])
 
     def clear(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._log_histograms.clear()
+        self._series.clear()
 
 
 def record_op_counts(

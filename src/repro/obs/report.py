@@ -133,4 +133,11 @@ def render_report(
             f"\n{len(breakdowns)} epoch(s); worst |phases - timeline| = "
             f"{worst:.2e} ms"
         )
+    if spans.dropped:
+        body += (
+            f"\n!! WARNING: span recorder dropped {spans.dropped} span(s) "
+            f"(capacity {spans.capacity}); every figure above that leans "
+            f"on spans — computation, communication, critical paths — may "
+            f"undercount.  Re-run with a larger span capacity."
+        )
     return body

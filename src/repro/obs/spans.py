@@ -44,6 +44,11 @@ class Span:
         The machine the activity ran on.  Becomes the Chrome-trace *pid*.
     start, end:
         Virtual milliseconds.  ``start == end`` marks an instant.
+    span_id, parent_id, trace_id:
+        Causal identity (see :mod:`repro.obs.causality`): ``parent_id``
+        names the span this one *waited on*, ``trace_id`` groups every
+        span of one rekey epoch's trace.  All three stay None for spans
+        recorded outside a trace (e.g. during unmeasured group growth).
     """
 
     category: str
@@ -53,6 +58,9 @@ class Span:
     start: float
     end: float
     attrs: Dict[str, Any] = field(default_factory=dict)
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    trace_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -94,18 +102,38 @@ class SpanRecorder:
         proc: str,
         start: float,
         end: float,
+        *,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        trace_id: Optional[int] = None,
         **attrs: Any,
     ) -> None:
         """Record one closed interval (no-op when disabled)."""
         if self.enabled:
-            self.add(Span(category, name, actor, proc, start, end, attrs))
+            self.add(
+                Span(
+                    category, name, actor, proc, start, end, attrs,
+                    span_id=span_id, parent_id=parent_id, trace_id=trace_id,
+                )
+            )
 
     def instant(
         self, category: str, name: str, actor: str, proc: str, time: float,
+        *,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        trace_id: Optional[int] = None,
         **attrs: Any,
     ) -> None:
         """Record a zero-duration marker."""
-        self.record(category, name, actor, proc, time, time, **attrs)
+        self.record(
+            category, name, actor, proc, time, time,
+            span_id=span_id, parent_id=parent_id, trace_id=trace_id, **attrs,
+        )
+
+    def by_id(self) -> Dict[int, Span]:
+        """Index of every id-carrying span, keyed by ``span_id``."""
+        return {s.span_id: s for s in self.spans if s.span_id is not None}
 
     def filter(
         self,

@@ -72,6 +72,18 @@ class KeyAgreementProtocol(ABC):
     #: Protocol name as used in the paper ("GDH", "CKD", "BD", "TGDH", "STR").
     name: str = "?"
 
+    #: Paper-aligned phase label per message step, used by the
+    #: critical-path report to say *which part* of the protocol a
+    #: blocking CPU batch belonged to.  Subclasses override; steps not
+    #: listed (and the host-level ``start``/``restart`` batches) fall
+    #: back through :meth:`phase_of`.
+    STEP_PHASES: Dict[str, str] = {}
+
+    @classmethod
+    def phase_of(cls, step: str) -> str:
+        """The protocol phase a message step belongs to."""
+        return cls.STEP_PHASES.get(step, "computation")
+
     def __init__(
         self,
         member: str,

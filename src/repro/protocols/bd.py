@@ -28,6 +28,7 @@ class BdProtocol(KeyAgreementProtocol):
     """One member's Burmester-Desmedt instance."""
 
     name = "BD"
+    STEP_PHASES = {"bd-z": "round-1", "bd-x": "round-2"}
 
     def __init__(self, member, group, rng, ledger=None, engine=None):
         super().__init__(member, group, rng, ledger, engine=engine)

@@ -28,6 +28,11 @@ class CkdProtocol(KeyAgreementProtocol):
     """One member's CKD instance."""
 
     name = "CKD"
+    STEP_PHASES = {
+        "ckd-pub": "channel-setup",
+        "ckd-reply": "contribution",
+        "ckd-dist": "distribution",
+    }
 
     def __init__(self, member, group, rng, ledger=None, engine=None):
         super().__init__(member, group, rng, ledger, engine=engine)

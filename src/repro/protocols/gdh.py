@@ -32,6 +32,12 @@ class GdhProtocol(KeyAgreementProtocol):
     """One member's GDH IKA.3 instance."""
 
     name = "GDH"
+    STEP_PHASES = {
+        "gdh-token": "upflow",
+        "gdh-upflow": "upflow",
+        "gdh-factor": "factor-out",
+        "gdh-keylist": "broadcast",
+    }
 
     def __init__(self, member, group, rng, ledger=None, engine=None):
         super().__init__(member, group, rng, ledger, engine=engine)

@@ -37,6 +37,7 @@ class StrProtocol(KeyAgreementProtocol):
     """
 
     name = "STR"
+    STEP_PHASES = {"str-tree": "tree-sync", "str-bkeys": "bkey-broadcast"}
 
     def __init__(
         self, member, group, rng, ledger=None, engine=None, key_confirmation=False

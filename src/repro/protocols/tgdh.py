@@ -43,6 +43,7 @@ class TgdhProtocol(KeyAgreementProtocol):
     """
 
     name = "TGDH"
+    STEP_PHASES = {"tgdh-tree": "tree-sync", "tgdh-bkeys": "bkey-broadcast"}
 
     def __init__(
         self, member, group, rng, ledger=None, engine=None, key_confirmation=False

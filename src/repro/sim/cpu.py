@@ -41,6 +41,10 @@ class Machine:
         self.cores = cores
         self.speed = speed
         self._core_free: List[float] = [0.0] * cores
+        # Cause of the last span run on each core, for causal parenting:
+        # a batch gated by core contention waited on *that* span, whoever
+        # submitted it (the paper's BD-doubling effect made visible).
+        self._core_span: List[Optional[tuple]] = [None] * cores
         self.total_work_ms = 0.0
         #: optional :class:`repro.obs.Observability` flight recorder; when
         #: attached (by :class:`~repro.gcs.world.GcsWorld`) and enabled,
@@ -56,6 +60,7 @@ class Machine:
         *args: Any,
         not_before: float = 0.0,
         span: Optional[tuple] = None,
+        chain: Optional[tuple] = None,
     ) -> float:
         """Queue ``work_ms`` of reference-speed CPU work on this machine.
 
@@ -68,6 +73,12 @@ class Machine:
         with an enabled recorder attached it is recorded over the work's
         actual busy interval (queueing delay excluded), which is what the
         per-epoch report counts as "computation".
+
+        ``chain`` is the submitter's previous CPU span cause, used only
+        for causal parenting: the recorded span's parent is whichever
+        bound actually gated its start — the core's last span under
+        contention, ``chain`` when serialized behind the submitter's own
+        earlier work, the ambient cause otherwise.
         """
         if work_ms < 0:
             raise ValueError("work_ms must be non-negative")
@@ -95,19 +106,47 @@ class Machine:
         now = sim.now
         start = now if now > not_before else not_before
         if best > start:
+            core_gated = True
             start = best
+        else:
+            core_gated = False
         finish = start + duration
         self._core_free[index] = finish
         self.total_work_ms += duration
+        cause = None
         if span is not None and self.obs is not None and self.obs.enabled:
             category, span_name, actor, attrs = span
+            causality = self.obs.causality
+            # Causal parent: whichever bound gated the start.  Core
+            # contention means we waited on another span on this core;
+            # ``not_before`` means our own prior work; otherwise whatever
+            # caused the submit.
+            if core_gated:
+                parent = self._core_span[index]
+            elif not_before > now:
+                parent = chain
+            else:
+                parent = causality.current
+            if parent is None:
+                parent = causality.current
+            if parent is not None:
+                cause = (causality.new_span_id(), parent[1])
             self.obs.span(
                 category, span_name, actor, self.name, start, finish,
+                span_id=cause[0] if cause else None,
+                parent_id=parent[0] if parent else None,
+                trace_id=cause[1] if cause else None,
                 **(attrs or {}),
             )
             self.obs.counter("cpu.work_ms", machine=self.name).inc(duration)
+            self._core_span[index] = cause
+            causality.last_cpu_span = cause
         if fn is not None:
-            sim.schedule_at(finish, fn, *args)
+            event = sim.schedule_at(finish, fn, *args)
+            if cause is not None:
+                # The completion callback was caused by the CPU span, not
+                # by whatever context submitted the work.
+                event.cause = cause
         return finish
 
     def busy_until(self, sim: Simulator) -> float:
@@ -121,6 +160,7 @@ class Machine:
     def reset(self) -> None:
         """Clear all queued work (used between benchmark repetitions)."""
         self._core_free = [0.0] * self.cores
+        self._core_span = [None] * self.cores
         self.total_work_ms = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

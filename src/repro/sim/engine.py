@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 class Event:
     """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_owner")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_owner", "cause")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
         self.time = time
@@ -34,6 +34,10 @@ class Event:
         self.args = args
         self.cancelled = False
         self._owner: Optional["Simulator"] = None
+        #: causal provenance: the (span_id, trace_id) active when the
+        #: event was scheduled (see :attr:`Simulator.cause_hook`).  Pure
+        #: metadata — never consulted by the queue itself.
+        self.cause = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
@@ -73,6 +77,12 @@ class Simulator:
         self._events_processed = 0
         self._cancelled_in_queue = 0
         self._queued = 0
+        #: optional :class:`repro.obs.causality.Causality`: when set,
+        #: :meth:`schedule_at` stamps its ``current`` cause on the new
+        #: event and firing restores it, so causal context follows the
+        #: event graph without touching any scheduling decision.  None
+        #: (the default) keeps the hot paths to one attribute test.
+        self.cause_hook = None
 
     @property
     def events_processed(self) -> int:
@@ -140,6 +150,9 @@ class Simulator:
             raise ValueError(f"cannot schedule at {time} (now is {self.now})")
         event = Event(time, next(self._seq), fn, args)
         event._owner = self
+        hook = self.cause_hook
+        if hook is not None:
+            event.cause = hook.current
         bucket = self._buckets.get(time)
         if bucket is None:
             self._buckets[time] = [event]
@@ -199,6 +212,9 @@ class Simulator:
         event._owner = None  # out of the queue; cancel() is a no-op now
         self.now = event.time
         self._events_processed += 1
+        hook = self.cause_hook
+        if hook is not None:
+            hook.current = event.cause
         event.fn(*event.args)
 
     def step(self) -> bool:
@@ -259,6 +275,9 @@ class Simulator:
                     event._owner = None
                     self.now = event.time
                     self._events_processed += 1
+                    hook = self.cause_hook
+                    if hook is not None:
+                        hook.current = event.cause
                     event.fn(*event.args)
                 elif not self.step():
                     break

@@ -7,7 +7,7 @@ import pytest
 
 from repro.bench.cli import FIGURES, build_parser, main
 from repro.gcs.topology import TESTBEDS
-from repro.obs import validate_chrome_trace
+from repro.obs import JSONL_SCHEMA_VERSION, validate_chrome_trace
 
 
 def test_table_mode(capsys):
@@ -62,8 +62,11 @@ def test_trace_subcommand_emits_valid_chrome_trace(capsys, tmp_path):
         "ts" in e and "pid" in e for e in trace["traceEvents"]
     )
     assert os.path.exists(jsonl_path)
-    first = json.loads(open(jsonl_path).readline())
-    assert "category" in first
+    with open(jsonl_path) as handle:
+        header = json.loads(handle.readline())
+        second = json.loads(handle.readline())
+    assert header["schema"]["version"] == JSONL_SCHEMA_VERSION
+    assert "category" in second and "span_id" in second
 
 
 def test_report_subcommand_prints_reconciled_phases(capsys):
@@ -75,6 +78,42 @@ def test_report_subcommand_prints_reconciled_phases(capsys):
     assert "membship" in out and "comms" in out and "comput" in out
     assert "NO" not in out  # every epoch reconciles
     assert "worst |phases - timeline|" in out
+
+
+def test_critpath_subcommand_prints_exact_chains(capsys):
+    code = main([
+        "critpath", "--protocol", "GDH", "--size", "4", "--event", "leave",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Critical paths:" in out
+    assert "critical member" in out
+    assert "(exact," in out and "INEXACT" not in out
+    assert "truncated" not in out
+    assert "Rekey latency percentiles" in out
+    assert "member.rekey_ms" in out and "p99" in out
+
+
+def test_report_critical_path_flag_appends_chains(capsys):
+    code = main([
+        "report", "--protocol", "TGDH", "--size", "4", "--event", "join",
+        "--critical-path",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "worst |phases - timeline|" in out  # the base report survives
+    assert "critical member" in out and "(exact," in out
+
+
+def test_scale_observe_flag_prints_percentiles(capsys, tmp_path):
+    code = main([
+        "scale", "--sizes", "4", "--protocols", "TGDH", "--observe",
+        "--jobs", "1", "--no-cache", "-o", str(tmp_path / "scale.json"),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Rekey latency percentiles" in out
+    assert "member.rekey_ms{group=secure-group,protocol=TGDH}" in out
 
 
 def test_subcommand_rejects_unknown_protocol():

@@ -149,6 +149,23 @@ def test_run_scale_tiny(tmp_path):
     assert "TGDH" in table
 
 
+def test_observed_sweep_is_bit_identical_to_unobserved():
+    """The obs-overhead contract: tracing changes no measured number."""
+    def sweep(observe):
+        return run_scale(
+            protocols=("BD", "TGDH"),
+            sizes=(6,),
+            dh_group="dh-test",
+            engine="symbolic",
+            observe=observe,
+            use_cache=False,
+        )
+
+    plain = [m.to_dict() for m in sweep(observe=False)]
+    observed = [m.to_dict() for m in sweep(observe=True)]
+    assert plain == observed  # simulated times AND ledger charges
+
+
 def test_scale_cli_writes_json(tmp_path, capsys):
     out = tmp_path / "BENCH_scale.json"
     code = main(

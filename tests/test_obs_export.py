@@ -7,6 +7,7 @@ import pytest
 from repro.core.framework import SecureSpreadFramework
 from repro.gcs.topology import lan_testbed
 from repro.obs import (
+    JSONL_SCHEMA_VERSION,
     Observability,
     spans_to_jsonl,
     to_chrome_trace,
@@ -26,11 +27,12 @@ def _spans():
 def test_spans_to_jsonl_round_trips(tmp_path):
     path = str(tmp_path / "spans.jsonl")
     count = spans_to_jsonl(_spans(), path)
-    assert count == 3
+    assert count == 4  # schema header + three spans
     rows = [json.loads(line) for line in open(path)]
-    assert rows[0]["name"] == "TGDH.start"
-    assert rows[1]["attrs"] == {"bytes": 96}
-    assert rows[2]["start"] == rows[2]["end"] == 0.5
+    assert rows[0]["schema"]["version"] == JSONL_SCHEMA_VERSION
+    assert rows[1]["name"] == "TGDH.start"
+    assert rows[2]["attrs"] == {"bytes": 96}
+    assert rows[3]["start"] == rows[3]["end"] == 0.5
 
 
 def test_chrome_trace_shape():
@@ -73,10 +75,64 @@ def test_observability_jsonl_includes_metrics(tmp_path):
     path = str(tmp_path / "dump.jsonl")
     lines = obs.to_jsonl(path)
     rows = [json.loads(line) for line in open(path)]
-    assert lines == len(rows) == 2
-    assert rows[0]["category"] == "crypto"
-    assert rows[1]["metric"]["name"] == "net.frames"
-    assert rows[1]["metric"]["value"] == 4
+    assert lines == len(rows) == 3  # schema header + span + metric
+    assert rows[0]["schema"]["kind"] == "repro.obs"
+    assert rows[1]["category"] == "crypto"
+    assert rows[2]["metric"]["name"] == "net.frames"
+    assert rows[2]["metric"]["value"] == 4
+
+
+def _caused_spans():
+    """A two-span parent/child chain with causal ids."""
+    return [
+        Span(
+            "crypto", "sign", "m0", "lan0", 1.0, 3.0, {},
+            span_id=1, parent_id=None, trace_id=1,
+        ),
+        Span(
+            "net", "frame d0->d1", "d0", "lan1", 3.0, 4.0, {},
+            span_id=2, parent_id=1, trace_id=1,
+        ),
+    ]
+
+
+def test_chrome_trace_emits_flow_events_along_parent_edges():
+    trace = to_chrome_trace(_caused_spans())
+    validate_chrome_trace(trace)
+    starts = [e for e in trace["traceEvents"] if e["ph"] == "s"]
+    finishes = [e for e in trace["traceEvents"] if e["ph"] == "f"]
+    assert len(starts) == len(finishes) == 1
+    start, finish = starts[0], finishes[0]
+    # One flow arrow per parent edge, id'd by the child span.
+    assert start["id"] == finish["id"] == 2
+    assert start["cat"] == finish["cat"] == "flow"
+    assert finish["bp"] == "e"
+    # Arrow leaves the parent's end, lands at the child's start (in us).
+    assert start["ts"] == 3000.0 and finish["ts"] == 3000.0
+    # The arrow connects the two distinct process/thread lanes.
+    assert (start["pid"], start["tid"]) != (finish["pid"], finish["tid"])
+
+
+def test_chrome_trace_skips_flows_for_dropped_parents():
+    orphan = [
+        Span(
+            "net", "frame", "d0", "lan0", 1.0, 2.0, {},
+            span_id=9, parent_id=404, trace_id=1,  # parent not recorded
+        )
+    ]
+    trace = to_chrome_trace(orphan)
+    validate_chrome_trace(trace)
+    assert not [e for e in trace["traceEvents"] if e["ph"] in ("s", "f")]
+
+
+def test_metadata_carries_sort_indices():
+    trace = to_chrome_trace(_spans())
+    metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    names = {e["name"] for e in metadata}
+    assert "process_sort_index" in names and "thread_sort_index" in names
+    for event in metadata:
+        if event["name"] == "process_sort_index":
+            assert event["args"]["sort_index"] == event["pid"]
 
 
 def test_full_stack_trace_is_valid_chrome_json(tmp_path):

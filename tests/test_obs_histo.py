@@ -1,0 +1,202 @@
+"""Log-bucketed histograms and bounded time series.
+
+Accuracy bar from the issue: any reported p50/p95/p99 is within one
+geometric bucket of the exact sorted-sample percentile.  Merge bar:
+folding shard snapshots is exact and order-independent.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.histo import (
+    GROWTH,
+    LogHistogram,
+    TimeSeries,
+    bucket_bounds,
+    bucket_index,
+    bucket_midpoint,
+    render_percentiles,
+)
+
+
+def _exact_quantile(samples, q):
+    """Nearest-rank quantile over the raw samples."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _within_one_bucket(reported, exact):
+    if exact <= 0.0:
+        return reported == 0.0
+    index = bucket_index(exact)
+    low, _ = bucket_bounds(index - 1)
+    _, high = bucket_bounds(index + 1)
+    return low <= reported <= high
+
+
+# ---------------------------------------------------------------------------
+# buckets
+
+
+def test_bucket_index_boundaries_are_half_open():
+    for i in (-3, 0, 1, 17):
+        low, high = bucket_bounds(i)
+        assert bucket_index(low) == i
+        assert bucket_index(high) == i + 1
+        assert low < bucket_midpoint(i) < high
+
+
+def test_bucket_width_is_one_eighth_octave():
+    assert GROWTH ** 8 == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# histogram accuracy
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_percentiles_within_one_bucket_of_sorted_samples(seed):
+    rng = random.Random(seed)
+    samples = [rng.lognormvariate(2.0, 1.5) for _ in range(2000)]
+    hist = LogHistogram("lat")
+    for value in samples:
+        hist.observe(value)
+    for q in (0.5, 0.95, 0.99):
+        assert _within_one_bucket(hist.quantile(q), _exact_quantile(samples, q))
+
+
+def test_zero_values_counted_not_discarded():
+    hist = LogHistogram("lat")
+    for value in (0.0, 0.0, 0.0, 5.0):
+        hist.observe(value)
+    assert hist.count == 4 and hist.zero_count == 3
+    assert hist.quantile(0.5) == 0.0
+    assert hist.quantile(0.99) > 0.0
+
+
+def test_empty_and_invalid_quantiles():
+    hist = LogHistogram()
+    assert hist.quantile(0.5) == 0.0
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_percentiles_reporting_set():
+    hist = LogHistogram()
+    for v in range(1, 101):
+        hist.observe(float(v))
+    p = hist.percentiles()
+    assert set(p) == {"p50", "p95", "p99"}
+    assert p["p50"] <= p["p95"] <= p["p99"]
+
+
+# ---------------------------------------------------------------------------
+# merging
+
+
+def _snapshot(hist):
+    return (
+        dict(hist.buckets), hist.zero_count, hist.count,
+        hist.total, hist.min, hist.max,
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_merge_is_exact_and_order_independent(seed):
+    rng = random.Random(100 + seed)
+    shards = []
+    for _ in range(6):
+        shard = LogHistogram("lat")
+        for _ in range(rng.randrange(1, 300)):
+            shard.observe(rng.expovariate(0.01))
+        shards.append(_snapshot(shard))
+
+    def fold(order):
+        merged = LogHistogram("lat")
+        for i in order:
+            merged.merge(*shards[i])
+        return merged
+
+    forward = fold(range(len(shards)))
+    shuffled_order = list(range(len(shards)))
+    rng.shuffle(shuffled_order)
+    shuffled = fold(shuffled_order)
+    assert forward.total == shuffled.total  # fsum: bit-identical
+    assert forward.buckets == shuffled.buckets
+    assert forward.count == shuffled.count
+    assert forward.min == shuffled.min and forward.max == shuffled.max
+    assert forward.percentiles() == shuffled.percentiles()
+
+
+def test_merge_coerces_json_string_bucket_keys():
+    source = LogHistogram()
+    source.observe(7.0)
+    merged = LogHistogram()
+    merged.merge(
+        {str(k): v for k, v in source.buckets.items()},
+        source.zero_count, source.count, source.total, source.min, source.max,
+    )
+    assert merged.buckets == source.buckets
+    assert merged.quantile(0.5) == source.quantile(0.5)
+
+
+# ---------------------------------------------------------------------------
+# time series
+
+
+def test_ring_is_bounded_and_keeps_most_recent():
+    series = TimeSeries("s", capacity=4)
+    for t in range(10):
+        series.record(float(t), float(t * 10))
+    assert len(series) == 4
+    assert series.recorded == 10
+    assert series.points() == [(6.0, 60.0), (7.0, 70.0), (8.0, 80.0), (9.0, 90.0)]
+
+
+def test_ring_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        TimeSeries(capacity=0)
+
+
+def test_series_merge_order_independent_and_rebounded():
+    def build(points, capacity=5):
+        series = TimeSeries("s", capacity=capacity)
+        for t, v in points:
+            series.record(t, v)
+        return series
+
+    a = [(float(t), 1.0) for t in range(4)]
+    b = [(float(t), 2.0) for t in (2.5, 6, 7, 8)]
+    ab = build(a)
+    ab.merge(b, len(b))
+    ba = build(b)
+    ba.merge(a, len(a))
+    assert ab.points() == ba.points()
+    assert ab.recorded == ba.recorded == 8
+    assert len(ab) == 5  # re-bounded to capacity, most recent kept
+    assert ab.points()[-1] == (8.0, 2.0)
+    # Recording after a merge keeps overwriting oldest-first.
+    ab.record(9.0, 3.0)
+    assert ab.points()[-1] == (9.0, 3.0) and len(ab) == 5
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def test_render_percentiles_table():
+    hist = LogHistogram("member.rekey_ms", (("protocol", "BD"),))
+    for v in (10.0, 20.0, 30.0):
+        hist.observe(v)
+    text = render_percentiles([hist], "Rekey latency percentiles (ms)")
+    assert "member.rekey_ms{protocol=BD}" in text
+    assert "p50" in text and "p99" in text
+    assert "      3" in text  # count column
+
+
+def test_render_percentiles_empty():
+    assert "no log histograms" in render_percentiles([])

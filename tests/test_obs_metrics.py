@@ -1,5 +1,8 @@
 """Tests for the metrics registry and the ledger bridge."""
 
+import json
+import random
+
 import pytest
 
 from repro.crypto.ledger import OperationLedger
@@ -65,6 +68,87 @@ def test_snapshot_is_json_ready():
     assert kinds == ["counter", "gauge", "histogram"]
     assert rows[0]["labels"] == {"k": "v"}
     assert rows[2]["mean"] == 1.5
+
+
+def _worker_shard(seed):
+    """One simulated worker's registry: every instrument kind."""
+    rng = random.Random(seed)
+    reg = MetricsRegistry()
+    for _ in range(rng.randrange(5, 40)):
+        reg.counter("net.frames", src="d0").inc(rng.randrange(1, 9))
+        reg.histogram("cell.ms", kind="scale").observe(rng.uniform(0.1, 50))
+        reg.log_histogram(
+            "member.rekey_ms", protocol="BD"
+        ).observe(rng.expovariate(0.05))
+        reg.series("rekey.latency", group="g").record(
+            rng.uniform(0, 1000), rng.uniform(1, 60)
+        )
+    return reg.snapshot()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_merge_snapshot_is_order_independent(seed):
+    """Shards folded in any completion order yield bit-identical state.
+
+    This is the property the parallel benchmark pool leans on: counters
+    and histogram totals are fsum partials, log-histogram buckets are
+    integers, series unions re-sort — so only gauges (deliberately
+    last-wins) are excluded here.
+    """
+    rng = random.Random(1000 + seed)
+    shards = [_worker_shard(s) for s in range(6)]
+
+    def fold(order):
+        reg = MetricsRegistry()
+        for index in order:
+            reg.merge_snapshot(shards[index])
+        return reg.snapshot()
+
+    forward = fold(range(len(shards)))
+    shuffled = list(range(len(shards)))
+    rng.shuffle(shuffled)
+    assert fold(shuffled) == forward  # bit-identical, not approx
+    reversed_fold = fold(reversed(range(len(shards))))
+    assert reversed_fold == forward
+
+
+def test_merge_snapshot_round_trips_through_json():
+    """A snapshot that crossed a process pipe (string bucket keys, lists
+    for points) merges identically to the in-process original."""
+    reg = MetricsRegistry()
+    reg.log_histogram("h").observe(3.0)
+    reg.series("s").record(1.0, 2.0)
+    reg.counter("c").inc(4)
+    rows = json.loads(json.dumps(reg.snapshot()))
+    direct = MetricsRegistry()
+    direct.merge_snapshot(reg.snapshot())
+    piped = MetricsRegistry()
+    piped.merge_snapshot(rows)
+    assert piped.snapshot() == direct.snapshot()
+    assert piped.log_histogram("h").quantile(0.5) > 0.0
+
+
+def test_merge_snapshot_preserves_percentiles():
+    samples = [float(v) for v in range(1, 201)]
+    whole = MetricsRegistry()
+    for v in samples:
+        whole.log_histogram("lat").observe(v)
+    merged = MetricsRegistry()
+    for lo in range(0, 200, 50):  # four shards of 50 samples each
+        shard = MetricsRegistry()
+        for v in samples[lo:lo + 50]:
+            shard.log_histogram("lat").observe(v)
+        merged.merge_snapshot(shard.snapshot())
+    assert (
+        merged.log_histogram("lat").percentiles()
+        == whole.log_histogram("lat").percentiles()
+    )
+
+
+def test_merge_snapshot_ignored_when_disabled():
+    reg = MetricsRegistry(enabled=False)
+    reg.merge_snapshot(_worker_shard(0))
+    assert reg.snapshot() == []
 
 
 def test_ledger_bridge_labels_by_modulus_bits():

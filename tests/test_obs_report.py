@@ -78,6 +78,22 @@ def test_render_report_reconciles_and_names_phases():
     assert "membship" in text and "comms" in text and "comput" in text
     assert " yes " in text or text.rstrip().endswith("ms")
     assert "NO" not in text
+    assert "WARNING" not in text  # nothing dropped at this scale
+
+
+def test_render_report_warns_loudly_about_dropped_spans():
+    framework = SecureSpreadFramework(
+        lan_testbed(), default_protocol="TGDH", observe=True, span_capacity=8
+    )
+    for i in range(3):
+        member = framework.member(f"m{i}", i)
+        member.join()
+        framework.run_until_idle()
+    assert framework.obs.spans.dropped > 0
+    text = render_report(framework.timeline, framework.obs.spans)
+    assert "!! WARNING" in text
+    assert f"dropped {framework.obs.spans.dropped} span(s)" in text
+    assert "capacity 8" in text
 
 
 @pytest.mark.parametrize("event", ["join", "leave"])
