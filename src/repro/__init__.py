@@ -14,6 +14,11 @@ The package implements the full Secure Spread stack described in the paper:
   by the paper: GDH (Cliques IKA.3), CKD, BD, TGDH and STR.
 * :mod:`repro.core` — the Secure Spread framework tying the protocols to the
   group communication system, with group-data encryption.
+* :mod:`repro.transport` — the substrate seam: the
+  :class:`~repro.transport.Transport` / :class:`~repro.transport.GroupChannel`
+  interface both backends implement.
+* :mod:`repro.net` — the live backend: an asyncio daemon/client speaking a
+  length-prefixed wire protocol over real TCP sockets.
 * :mod:`repro.faults` — deterministic, seeded fault injection (link
   faults, daemon crashes, timed scenario schedules).
 * :mod:`repro.analysis` — the paper's conceptual cost model (Table 1).
@@ -33,16 +38,24 @@ from repro.bench.harness import ExperimentSpec, run_experiment
 from repro.core.framework import SecureSpreadFramework
 from repro.crypto.engine import RealEngine, SymbolicEngine, get_engine
 from repro.faults import FaultSchedule, LinkFaults, LinkPolicy
+from repro.net import AsyncioTransport, LiveGroupRunner, NetClient, NetDaemon
+from repro.transport import GroupChannel, Transport
 from repro.version import __version__
 
 __all__ = [
+    "AsyncioTransport",
     "ExperimentSpec",
     "FaultSchedule",
+    "GroupChannel",
     "LinkFaults",
     "LinkPolicy",
+    "LiveGroupRunner",
+    "NetClient",
+    "NetDaemon",
     "RealEngine",
     "SecureSpreadFramework",
     "SymbolicEngine",
+    "Transport",
     "get_engine",
     "run_experiment",
     "__version__",

@@ -22,6 +22,14 @@ One subcommand per job, all sharing the same core options
     python -m repro.bench compare OLD.json NEW.json   # exact regression gate
     python -m repro.bench profile                # wall-clock self-profile
     python -m repro.bench profile --size 64 --protocols BD --no-profiler
+    python -m repro.bench live --protocol tgdh -n 8   # real TCP on localhost
+
+``live`` is the only subcommand that runs on the asyncio transport
+(``--transport asyncio``, its default): a real daemon process and one
+TCP client per member on localhost, measuring wall-clock rekey latency
+next to the simulator's virtual-time prediction in ``BENCH_live.json``.
+Every other subcommand is simulator-only (``--transport sim``): fault
+injection, tracing and virtual time have no live equivalent.
 
 The grid-shaped subcommands (``figure``, ``scale``, ``chaos``) all take
 ``--jobs N`` (worker processes, default: every CPU), ``--cache-dir``
@@ -90,8 +98,13 @@ TOPOLOGIES = TESTBEDS
 #: The subcommand surface (a leading ``--`` selects the legacy flags).
 SUBCOMMANDS = (
     "figure", "table", "trace", "report", "critpath", "scale", "chaos",
-    "compare", "profile",
+    "compare", "profile", "live",
 )
+
+#: subcommands that can run on the asyncio transport; everything else
+#: needs virtual time, fault injection or tracing — simulator add-ons
+#: the live backend deliberately does not provide
+ASYNCIO_SUBCOMMANDS = ("live",)
 
 #: figure number -> list of (title, testbed name, event, dh group)
 FIGURES = {
@@ -139,6 +152,12 @@ def build_common_parser() -> argparse.ArgumentParser:
         help="also write the flat simulation event log as JSON lines "
         "(honored by trace, report and chaos, whose runs are bounded; "
         "the figure/scale sweeps would overflow any trace)",
+    )
+    common.add_argument(
+        "--transport", choices=("sim", "asyncio"), default="sim",
+        help="substrate to run on: the simulated world (default) or the "
+        "live asyncio backend over TCP (only the 'live' subcommand; "
+        "faults, tracing and virtual-time sweeps are simulator-only)",
     )
     return common
 
@@ -383,6 +402,43 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "(default BENCH_wallclock.json)",
     )
     profile.set_defaults(engine="real", out="BENCH_profile.json")
+
+    live = sub.add_parser(
+        "live", parents=[build_common_parser()],
+        help="run a secure group of N members over real localhost TCP "
+        "(a spawned daemon process + one client per member), measure "
+        "wall-clock join/leave rekey latency, and cross-validate against "
+        "the simulator's virtual-time prediction",
+    )
+    live.add_argument(
+        "--protocol", type=str.upper, choices=PROTOCOLS, default="TGDH",
+        help="key agreement protocol, case-insensitive (default TGDH)",
+    )
+    live.add_argument(
+        "-n", "--size", type=int, default=8,
+        help="settled group size before the measured events (default 8)",
+    )
+    live.add_argument(
+        "--dh-group", default="dh-512", help="DH group (default dh-512)"
+    )
+    live.add_argument(
+        "--host", default="127.0.0.1",
+        help="daemon bind address (default 127.0.0.1)",
+    )
+    live.add_argument(
+        "--port", type=int, default=None,
+        help="daemon TCP port (default: pick a free one)",
+    )
+    live.add_argument(
+        "--daemon", choices=("spawn", "inline"), default="spawn",
+        help="daemon placement: a separate process over real TCP "
+        "(default) or embedded in this process's event loop",
+    )
+    live.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="hard limit for each settle phase (default 60)",
+    )
+    live.set_defaults(transport="asyncio", out="BENCH_live.json")
 
     compare = sub.add_parser(
         "compare",
@@ -638,6 +694,32 @@ def run_profile_command(args) -> int:
     return 0
 
 
+def run_live_command(args) -> int:
+    from repro.bench.live import (
+        render_live_table,
+        run_live_benchmark,
+        write_live_json,
+    )
+
+    document = run_live_benchmark(
+        protocol=args.protocol,
+        size=args.size,
+        dh_group=args.dh_group,
+        engine=args.engine,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        daemon_mode=args.daemon,
+        timeout_s=args.timeout,
+        progress=lambda line: print(f"  {line}", flush=True),
+    )
+    write_live_json(args.out, document)
+    print()
+    print(render_live_table(document))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
 def run_compare_command(args) -> int:
     drifts = compare_files(
         args.old, args.new,
@@ -747,8 +829,39 @@ def run_critpath_command(args) -> int:
     return 0
 
 
+def _validate_transport(args) -> None:
+    """Reject option combinations the chosen substrate cannot honor.
+
+    ``compare`` has no ``--transport`` flag at all (it never runs a
+    substrate), hence the ``getattr`` default.
+    """
+    transport = getattr(args, "transport", "sim")
+    if transport == "asyncio":
+        if args.command not in ASYNCIO_SUBCOMMANDS:
+            raise ValueError(
+                f"the asyncio transport only supports "
+                f"{'/'.join(ASYNCIO_SUBCOMMANDS)}; '{args.command}' needs "
+                "the simulator's virtual time (run it with --transport sim)"
+            )
+        if getattr(args, "trace_log", None):
+            raise ValueError(
+                "--trace records the simulated event log; the asyncio "
+                "transport has no simulation to trace — drop --trace or "
+                "use --transport sim"
+            )
+    elif args.command in ASYNCIO_SUBCOMMANDS:
+        raise ValueError(
+            f"'{args.command}' runs on the live asyncio backend; "
+            "--transport sim has no real sockets to measure (drop the "
+            "--transport override)"
+        )
+
+
 def run_subcommand(argv: Sequence[str]) -> int:
     args = build_subcommand_parser().parse_args(argv)
+    _validate_transport(args)
+    if args.command == "live":
+        return run_live_command(args)
     if args.command == "figure":
         return run_figures(args, args.number, engine=args.engine)
     if args.command == "table":

@@ -1,14 +1,16 @@
 """The Secure Spread framework object: configuration and member factory.
 
-One framework instance per simulated deployment.  It owns the group
-communication world, the DH group and cost model in force, the per-group
-protocol registry (the paper's "different key agreement protocols for
-different groups"), and the measurement timeline.
+One framework instance per deployment.  It owns the group communication
+*transport* (the simulated world, or a live asyncio substrate — see
+:mod:`repro.transport`), the DH group and cost model in force, the
+per-group protocol registry (the paper's "different key agreement
+protocols for different groups"), and the measurement timeline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type
+import warnings
+from typing import Dict, List, Optional, Type, Union
 
 from repro.core.timing import RekeyTimeline
 from repro.crypto.costmodel import CostModel, pentium3_666
@@ -21,14 +23,22 @@ from repro.gcs.world import GcsWorld
 from repro.obs import DEFAULT_CAPACITY, Observability
 from repro.protocols import PROTOCOLS
 from repro.protocols.base import KeyAgreementProtocol
+from repro.transport.base import Transport
 
 
 class SecureSpreadFramework:
-    """A Secure Spread deployment on a simulated testbed."""
+    """A Secure Spread deployment on a transport substrate.
+
+    ``substrate`` is either a :class:`~repro.gcs.topology.Topology` (the
+    classic form: a simulated world is built around it) or an
+    already-constructed :class:`~repro.transport.Transport` — e.g. the
+    asyncio backend's :class:`~repro.net.runner.AsyncioTransport`, which
+    runs the same protocols over real TCP sockets.
+    """
 
     def __init__(
         self,
-        topology: Topology,
+        substrate: Union[Topology, Transport, None] = None,
         default_protocol: str = "TGDH",
         dh_group="dh-512",
         cost_model: Optional[CostModel] = None,
@@ -40,7 +50,20 @@ class SecureSpreadFramework:
         engine: EngineSpec = None,
         stall_timeout_ms: Optional[float] = None,
         span_capacity: int = DEFAULT_CAPACITY,
+        topology: Optional[Topology] = None,
     ):
+        if topology is not None:
+            if substrate is not None:
+                raise ValueError("pass either substrate or topology, not both")
+            warnings.warn(
+                "the topology= keyword is deprecated; pass the topology (or "
+                "a Transport) as the first positional 'substrate' argument",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            substrate = topology
+        if substrate is None:
+            raise TypeError("SecureSpreadFramework requires a substrate")
         if default_protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {default_protocol!r}; "
@@ -53,7 +76,14 @@ class SecureSpreadFramework:
         #: the deployment's flight recorder (spans + metrics); recording is
         #: passive, so enabling it never changes any measured time.
         self.obs = Observability(enabled=observe, span_capacity=span_capacity)
-        self.world = GcsWorld(topology, trace=trace, obs=self.obs)
+        if isinstance(substrate, Topology):
+            #: the group communication substrate (Transport interface)
+            self.transport: Transport = GcsWorld(
+                substrate, trace=trace, obs=self.obs
+            )
+        else:
+            self.transport = substrate
+            self.transport.bind(self.obs)
         self.group: SchnorrGroup = get_group(dh_group)
         self.cost_model = cost_model or pentium3_666()
         self.seed = seed
@@ -68,6 +98,25 @@ class SecureSpreadFramework:
         self.timeline = RekeyTimeline()
         self._group_protocols: Dict[str, str] = {}
         self._members: Dict[str, "SecureGroupMember"] = {}
+
+    @property
+    def world(self) -> GcsWorld:
+        """The simulated world behind the transport.
+
+        Only the simulated substrate has one; fault injection, tracing
+        and ``run(until=...)`` live there.  On a live transport this
+        raises with a pointer to :attr:`transport` instead of failing
+        deep inside whatever simulated-only feature was reached for.
+        """
+        transport = self.transport
+        if isinstance(transport, GcsWorld):
+            return transport
+        raise AttributeError(
+            f"framework.world is the simulated substrate; this framework "
+            f"runs on the {transport.kind!r} transport — use "
+            "framework.transport (faults/partitions/tracing are "
+            "simulator-only)"
+        )
 
     # -- protocol registry ---------------------------------------------------
 
@@ -99,7 +148,7 @@ class SecureSpreadFramework:
         self, count: int, group_name: str = "secure-group", prefix: str = "m"
     ) -> List["SecureGroupMember"]:
         """Create ``count`` members distributed uniformly over the machines."""
-        total = len(self.world.topology.machines)
+        total = self.transport.machine_count()
         return [
             self.member(f"{prefix}{i}", i % total, group_name)
             for i in range(count)
@@ -152,8 +201,8 @@ class SecureSpreadFramework:
     # -- running ----------------------------------------------------------------
 
     def run_until_idle(self, max_events: int = 2_000_000) -> None:
-        self.world.run_until_idle(max_events=max_events)
+        self.transport.run_until_idle(max_events=max_events)
 
     @property
     def now(self) -> float:
-        return self.world.now
+        return self.transport.now

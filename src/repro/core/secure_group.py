@@ -29,9 +29,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.encryption import GroupCipher, IntegrityError, SealedMessage
 from repro.crypto.rsa import RsaSigner, RsaVerifier, cached_rsa_keypair
 from repro.obs.metrics import record_op_counts
-from repro.gcs.client import SpreadClient
 from repro.gcs.messages import GroupMessage, View
 from repro.protocols.base import KeyAgreementProtocol, ProtocolMessage
+from repro.transport.base import GroupChannel
 
 #: how many past epochs' ciphers to retain for late-arriving data
 _CIPHER_HISTORY = 4
@@ -50,8 +50,12 @@ class SecureGroupMember:
         self.framework = framework
         self.name = name
         self.group_name = group_name
-        self.client: SpreadClient = framework.world.client(name, machine_index)
-        self.machine = framework.world.topology.machines[machine_index]
+        #: the member's connection to the substrate — a simulated
+        #: SpreadClient or a live asyncio NetClient, same contract
+        self.client: GroupChannel = framework.transport.channel(
+            name, machine_index
+        )
+        self.machine = framework.transport.machine(machine_index)
         self.client.on_view = self._on_view
         self.client.on_message = self._on_message
         protocol_cls = framework.protocol_class(group_name)
@@ -68,10 +72,10 @@ class SecureGroupMember:
         self._verifier = RsaVerifier(self.protocol.ledger)
         self._keypair = keypair
         self._cpu_tail = 0.0
-        # Hot-path caches: all three are set once on the framework/world
-        # and never reassigned, and the message handler runs O(n²) times
-        # per rekey — the attribute chains show up in profiles.
-        self._sim = framework.world.sim
+        # Hot-path caches: all three are set once on the framework/
+        # transport and never reassigned, and the message handler runs
+        # O(n²) times per rekey — the attribute chains show up in profiles.
+        self._sim = framework.transport.scheduler
         self._cost_model = framework.cost_model
         self._sign_for_real = framework.sign_for_real
         # Cause of this member's most recent CPU span (None when obs is
@@ -117,7 +121,9 @@ class SecureGroupMember:
 
     @property
     def sim(self):
-        return self.framework.world.sim
+        """The transport's scheduler (virtual time on the simulator,
+        wall-clock milliseconds on the asyncio backend)."""
+        return self._sim
 
     @property
     def key_bytes(self) -> Optional[bytes]:

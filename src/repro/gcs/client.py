@@ -10,6 +10,11 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional
 
 from repro.gcs.messages import GroupMessage, Service, View
+from repro.transport.base import (
+    validate_group_name,
+    validate_member_name,
+    validate_payload_size,
+)
 
 
 class SpreadClient:
@@ -21,7 +26,7 @@ class SpreadClient:
     """
 
     def __init__(self, name: str, daemon) -> None:
-        self.name = name
+        self.name = validate_member_name(name)
         self.daemon = daemon
         self.world = daemon.world
         self.on_message: Optional[Callable[["SpreadClient", GroupMessage], None]] = None
@@ -36,6 +41,7 @@ class SpreadClient:
     def join(self, group: str) -> None:
         """Join a group (a lightweight membership event: one Agreed message)."""
         self._require_connected()
+        validate_group_name(group)
         message = GroupMessage(
             group=group,
             sender=self.name,
@@ -48,6 +54,7 @@ class SpreadClient:
     def leave(self, group: str) -> None:
         """Leave a group (a lightweight membership event: one Agreed message)."""
         self._require_connected()
+        validate_group_name(group)
         message = GroupMessage(
             group=group, sender=self.name, payload=None, kind="leave", size_bytes=96
         )
@@ -71,6 +78,10 @@ class SpreadClient:
     ) -> None:
         """Send to a group (or, with ``target``, to one member of it)."""
         self._require_connected()
+        validate_group_name(group)
+        validate_payload_size(size_bytes)
+        if target is not None:
+            validate_member_name(target)
         message = GroupMessage(
             group=group,
             sender=self.name,

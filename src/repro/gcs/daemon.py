@@ -28,6 +28,11 @@ from repro.gcs.messages import (
     ViewEvent,
 )
 from repro.gcs.ring import TokenRing
+from repro.transport.base import (
+    validate_group_name,
+    validate_member_name,
+    validate_payload_size,
+)
 
 #: Wire size of configuration-change control frames.
 _CONTROL_FRAME_BYTES = 256
@@ -137,6 +142,7 @@ class Daemon:
         """Attach a local client process."""
         if self._crashed:
             raise RuntimeError(f"daemon d{self.daemon_id} has crashed")
+        validate_member_name(client.name)
         if client.name in self.world.client_directory:
             raise ValueError(f"client name {client.name!r} already in use")
         self.clients[client.name] = client
@@ -162,7 +168,15 @@ class Daemon:
     # ------------------------------------------------------------------
 
     def submit(self, message: GroupMessage) -> None:
-        """Accept a message from a local client for dissemination."""
+        """Accept a message from a local client for dissemination.
+
+        The boundary validation mirrors :class:`~repro.gcs.client.
+        SpreadClient`'s — messages built by hand (tests, resubmits) get
+        the same clear error a malformed client call would, instead of
+        an opaque ``KeyError`` deep inside ring sequencing.
+        """
+        validate_group_name(message.group)
+        validate_payload_size(message.size_bytes)
         if self._crashed:
             return  # a crash severs in-flight IPC; the message is lost
         if message.cause is None and self.world.obs.enabled:

@@ -3,10 +3,19 @@
 :class:`GcsWorld` wires together the simulator, network, one daemon per
 machine and the bootstrap token ring, and offers the fault-injection knobs
 (partition / heal) the paper's membership events require.
+
+It is the *simulated* implementation of the
+:class:`repro.transport.Transport` interface: :meth:`channel` hands out
+:class:`~repro.gcs.client.SpreadClient` group channels, :attr:`scheduler`
+is the virtual-time simulator, and :meth:`machine` returns the contended
+CPU model of a testbed machine.  Everything beyond the interface —
+partitions, crashes, link faults, tracing — is the simulator's own
+value-add on top of the transport contract.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.gcs.client import SpreadClient
@@ -17,10 +26,14 @@ from repro.gcs.topology import Topology
 from repro.obs import Observability
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
+from repro.transport.base import CAP_FAULTS, CAP_TRACE, CAP_VIRTUAL_TIME
 
 
 class GcsWorld:
     """A running group communication deployment on a topology."""
+
+    kind = "sim"
+    capabilities = frozenset({CAP_VIRTUAL_TIME, CAP_FAULTS, CAP_TRACE})
 
     def __init__(
         self,
@@ -54,17 +67,50 @@ class GcsWorld:
             daemon.install_initial(config)
         self._bootstrap_cycle_ms = ring.cycle_ms
 
-    # -- clients -----------------------------------------------------------
+    # -- the Transport interface -------------------------------------------
 
-    def client(self, name: str, machine_index: int) -> SpreadClient:
+    def channel(self, name: str, machine_index: int) -> SpreadClient:
         """Create a client process on the given machine's daemon."""
         return SpreadClient(name, self.daemons[machine_index])
+
+    def client(self, name: str, machine_index: int) -> SpreadClient:
+        """Deprecated alias of :meth:`channel` (the transport-interface
+        name); kept so pre-transport scripts keep running."""
+        warnings.warn(
+            "GcsWorld.client is deprecated; use GcsWorld.channel "
+            "(the Transport interface spelling)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.channel(name, machine_index)
 
     def spawn_clients(self, names: Sequence[str]) -> List[SpreadClient]:
         """Create clients distributed uniformly across machines (§6.1.1:
         "group members are uniformly distributed on the thirteen machines")."""
         count = len(self.topology.machines)
-        return [self.client(name, i % count) for i, name in enumerate(names)]
+        return [self.channel(name, i % count) for i, name in enumerate(names)]
+
+    @property
+    def scheduler(self) -> Simulator:
+        """The transport's clock/timer service: the simulator itself."""
+        return self.sim
+
+    def machine(self, machine_index: int):
+        """CPU-accounting handle for a process slot: the testbed machine."""
+        return self.topology.machines[machine_index]
+
+    def machine_count(self) -> int:
+        return len(self.topology.machines)
+
+    def bind(self, obs: Observability) -> None:
+        """Late-attach a flight recorder (no-op here: the world receives
+        its recorder at construction; the method completes the Transport
+        interface for substrates built before their framework)."""
+        if obs is not self.obs and obs.enabled:
+            raise RuntimeError(
+                "GcsWorld takes its Observability at construction; build "
+                "the framework with observe=... instead of rebinding"
+            )
 
     # -- fault injection -----------------------------------------------------
 

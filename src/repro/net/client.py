@@ -1,0 +1,253 @@
+"""The live client library: SpreadClient's surface over a TCP socket.
+
+:class:`NetClient` connects to a :class:`~repro.net.daemon.NetDaemon`
+and exposes the same API the simulated
+:class:`~repro.gcs.client.SpreadClient` offers — synchronous
+``join``/``leave``/``multicast``/``unicast``/``disconnect`` plus
+``on_message``/``on_view`` listener callbacks receiving ``(client,
+item)`` — so :class:`~repro.core.secure_group.SecureGroupMember` drives
+it unchanged.  The synchronous calls merely enqueue frames; a writer
+task flushes them in order, a reader task turns inbound frames back into
+:class:`~repro.gcs.messages.GroupMessage` / :class:`~repro.gcs.messages.
+View` objects, and a heartbeat task keeps the daemon's failure detector
+quiet.  All callbacks run on the event loop thread, exactly as the
+simulator runs them on the simulation "thread".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, Callable, List, Optional
+
+from repro.gcs.messages import GroupMessage, Service, View, ViewEvent
+from repro.net.wire import (
+    WIRE_VERSION,
+    FrameType,
+    WireError,
+    decode_payload,
+    encode_payload,
+    pack_frame,
+    read_frame,
+)
+from repro.transport.base import (
+    validate_group_name,
+    validate_member_name,
+    validate_payload_size,
+)
+
+#: how often a quiet client proves liveness to the daemon
+DEFAULT_HEARTBEAT_INTERVAL_S = 2.0
+
+
+class NetClient:
+    """One live client process connected to a daemon over TCP."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+    ) -> None:
+        self.name = validate_member_name(name)
+        self.host = host
+        self.port = port
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.on_message: Optional[Callable[["NetClient", GroupMessage], None]] = None
+        self.on_view: Optional[Callable[["NetClient", View], None]] = None
+        self.received: List[GroupMessage] = []
+        self.views: List[View] = []
+        self.connected = False
+        self.config_id = None
+        self.error: Optional[str] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._outbox: asyncio.Queue = asyncio.Queue()
+        self._tasks: List[asyncio.Task] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def connect(self) -> None:
+        """Open the socket and complete the HELLO/WELCOME handshake."""
+        if self.connected:
+            raise RuntimeError(f"client {self.name!r} is already connected")
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._writer.write(
+            pack_frame(
+                FrameType.HELLO, {"name": self.name, "version": WIRE_VERSION}
+            )
+        )
+        await self._writer.drain()
+        ftype, body = await read_frame(self._reader)
+        if ftype is FrameType.ERROR:
+            self._writer.close()
+            raise ConnectionError(
+                f"daemon rejected {self.name!r}: {body.get('error')}"
+            )
+        if ftype is not FrameType.WELCOME:
+            self._writer.close()
+            raise WireError(f"expected WELCOME, got {ftype.name}")
+        self.config_id = body.get("config_id")
+        self.connected = True
+        self._tasks = [
+            asyncio.ensure_future(self._run_writer()),
+            asyncio.ensure_future(self._run_reader()),
+            asyncio.ensure_future(self._run_heartbeat()),
+        ]
+
+    async def aclose(self) -> None:
+        """Tear down tasks and the socket (idempotent)."""
+        self.connected = False
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._tasks = []
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(Exception):
+                await self._writer.wait_closed()
+            self._writer = None
+
+    # -- membership (synchronous GroupChannel surface) ---------------------
+
+    def join(self, group: str) -> None:
+        """Join a group; the view arrives via ``on_view``."""
+        self._require_connected()
+        validate_group_name(group)
+        self._send(FrameType.JOIN, {"group": group})
+
+    def leave(self, group: str) -> None:
+        """Leave a group; the final view arrives via ``on_view``."""
+        self._require_connected()
+        validate_group_name(group)
+        self._send(FrameType.LEAVE, {"group": group})
+
+    def disconnect(self) -> None:
+        """Orderly goodbye: the daemon converts it to leaves everywhere."""
+        self._require_connected()
+        self.connected = False
+        self._send(FrameType.BYE, {}, force=True)
+
+    # -- messaging ---------------------------------------------------------
+
+    def multicast(
+        self,
+        group: str,
+        payload: Any,
+        service: Service = Service.AGREED,
+        size_bytes: int = 64,
+        target: Optional[str] = None,
+    ) -> None:
+        """Send to a group (or, with ``target``, to one member of it)."""
+        self._require_connected()
+        validate_group_name(group)
+        validate_payload_size(size_bytes)
+        if target is not None:
+            validate_member_name(target)
+        self._send(
+            FrameType.MULTICAST,
+            {
+                "group": group,
+                "service": service.value,
+                "target": target,
+                "payload": encode_payload(payload),
+                "size_bytes": size_bytes,
+                "kind": "data",
+            },
+        )
+
+    def unicast(
+        self, group: str, target: str, payload: Any, size_bytes: int = 64
+    ) -> None:
+        """FIFO point-to-point message to one group member."""
+        self.multicast(
+            group, payload, service=Service.FIFO, size_bytes=size_bytes, target=target
+        )
+
+    # -- background tasks --------------------------------------------------
+
+    async def _run_writer(self) -> None:
+        try:
+            while True:
+                frame = await self._outbox.get()
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            self.connected = False
+
+    async def _run_reader(self) -> None:
+        try:
+            while True:
+                ftype, body = await read_frame(self._reader)
+                if ftype is FrameType.DELIVER:
+                    self._on_deliver(body)
+                elif ftype is FrameType.VIEW:
+                    self._on_view_frame(body)
+                elif ftype is FrameType.PING:
+                    pass
+                elif ftype is FrameType.ERROR:
+                    self.error = body.get("error")
+                    self.connected = False
+                    return
+                else:
+                    raise WireError(f"unexpected {ftype.name} from daemon")
+        except (asyncio.IncompleteReadError, ConnectionError):
+            self.connected = False  # daemon went away
+        except asyncio.CancelledError:
+            raise
+
+    async def _run_heartbeat(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_interval_s)
+            if not self.connected:
+                return
+            loop_now = asyncio.get_event_loop().time()
+            self._send(FrameType.PING, {"t": loop_now}, force=True)
+
+    # -- delivery ----------------------------------------------------------
+
+    def _on_deliver(self, body: dict) -> None:
+        message = GroupMessage(
+            group=body["group"],
+            sender=body["sender"],
+            payload=decode_payload(body["payload"]),
+            service=Service(body["service"]),
+            kind=body.get("kind", "data"),
+            size_bytes=body.get("size_bytes", 0),
+            target=body.get("target"),
+        )
+        self.received.append(message)
+        if self.on_message is not None:
+            self.on_message(self, message)
+
+    def _on_view_frame(self, body: dict) -> None:
+        view = View(
+            view_id=body["view_id"],
+            group=body["group"],
+            members=tuple(body["members"]),
+            event=ViewEvent(body["event"]),
+            joined=tuple(body.get("joined", ())),
+            left=tuple(body.get("left", ())),
+        )
+        self.views.append(view)
+        if self.on_view is not None:
+            self.on_view(self, view)
+
+    # -- internals ---------------------------------------------------------
+
+    def _send(self, ftype: FrameType, body: dict, force: bool = False) -> None:
+        if not force:
+            self._require_connected()
+        self._outbox.put_nowait(pack_frame(ftype, body))
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise RuntimeError(f"client {self.name!r} is disconnected")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NetClient({self.name!r} @ {self.host}:{self.port})"

@@ -1,0 +1,371 @@
+"""The live Spread-like daemon: one process, many TCP clients, total order.
+
+A :class:`NetDaemon` accepts client connections on a TCP socket and
+provides the transport contract over the wire protocol of
+:mod:`repro.net.wire`:
+
+* **handshake** — the first frame must be HELLO naming the client; the
+  daemon validates the name (same boundary rules as the simulator) and
+  rejects duplicates with an ERROR frame before any group state changes;
+* **join/leave/multicast services** — membership events and Agreed
+  multicasts consume slots of one global sequence; because a single
+  asyncio task routes every inbound frame atomically (no await between
+  sequencing and enqueueing to recipients), all members observe the same
+  total order, which is exactly the guarantee the simulator's token ring
+  provides;
+* **view installation** — every membership change broadcasts a
+  :class:`~repro.gcs.messages.View` (join-age member ordering, the same
+  ``(config_id, seq)`` view ids) to all members plus the leaver;
+* **failure suspicion** — clients heartbeat with PING frames; a sweeper
+  drops any client silent past the suspicion timeout, converting the
+  suspected crash into leaves, which is the single-daemon analogue of
+  Spread's failure detector turning a member crash into a leave (§5).
+
+Run standalone with ``python -m repro.net.daemon [--port N]``; it prints
+``LISTENING <port>`` once bound so a parent process can scrape the port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.gcs.messages import Service
+from repro.net.views import MembershipTable
+from repro.net.wire import (
+    WIRE_VERSION,
+    FrameType,
+    WireError,
+    pack_frame,
+    read_frame,
+)
+from repro.transport.base import (
+    validate_group_name,
+    validate_member_name,
+    validate_payload_size,
+)
+
+#: default client-silence window before the daemon suspects a crash
+DEFAULT_HEARTBEAT_TIMEOUT_S = 15.0
+
+
+class _Session:
+    """One connected client: its socket, outbound queue and liveness."""
+
+    def __init__(self, name: str, writer: asyncio.StreamWriter, now: float):
+        self.name = name
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.last_seen = now
+        self.writer_task: Optional[asyncio.Task] = None
+        self.closed = False
+
+    def send(self, frame: bytes) -> None:
+        if not self.closed:
+            self.outbox.put_nowait(frame)
+
+
+class NetDaemon:
+    """A single-configuration Spread-like daemon on a TCP endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.table = MembershipTable()
+        self.sessions: Dict[str, _Session] = {}
+        self.messages_routed = 0
+        self.views_emitted = 0
+        self.suspected = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sweeper: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("daemon is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> int:
+        """Bind and start serving; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self._sweeper = asyncio.ensure_future(self._sweep_heartbeats())
+        return self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
+        for session in list(self.sessions.values()):
+            await self._close_session(session)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session: Optional[_Session] = None
+        try:
+            session = await self._handshake(reader, writer)
+            if session is None:
+                return
+            while True:
+                ftype, body = await read_frame(reader)
+                session.last_seen = asyncio.get_event_loop().time()
+                if ftype is FrameType.MULTICAST:
+                    self._on_multicast(session, body)
+                elif ftype is FrameType.JOIN:
+                    self._on_join(session, body)
+                elif ftype is FrameType.LEAVE:
+                    self._on_leave(session, body)
+                elif ftype is FrameType.PING:
+                    pass  # liveness already refreshed above
+                elif ftype is FrameType.BYE:
+                    return
+                else:
+                    raise WireError(f"unexpected {ftype.name} after handshake")
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            WireError,
+            ValueError,
+        ) as error:
+            if session is not None and not isinstance(
+                error, (asyncio.IncompleteReadError, ConnectionError)
+            ):
+                session.send(pack_frame(FrameType.ERROR, {"error": str(error)}))
+        finally:
+            if session is not None:
+                await self._close_session(session)
+            else:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[_Session]:
+        """Validate the HELLO; returns the session or None after ERROR."""
+        ftype, body = await read_frame(reader)
+        error = None
+        name = body.get("name")
+        if ftype is not FrameType.HELLO:
+            error = f"first frame must be HELLO, got {ftype.name}"
+        elif body.get("version") != WIRE_VERSION:
+            error = (
+                f"wire version mismatch: daemon speaks {WIRE_VERSION}, "
+                f"client sent {body.get('version')!r}"
+            )
+        else:
+            try:
+                validate_member_name(name)
+            except ValueError as exc:
+                error = str(exc)
+            else:
+                if name in self.sessions:
+                    error = f"client name {name!r} already in use"
+        if error is not None:
+            writer.write(pack_frame(FrameType.ERROR, {"error": error}))
+            with contextlib.suppress(Exception):
+                await writer.drain()
+            writer.close()
+            return None
+        session = _Session(name, writer, asyncio.get_event_loop().time())
+        self.sessions[name] = session
+        session.writer_task = asyncio.ensure_future(self._drain_outbox(session))
+        session.send(
+            pack_frame(
+                FrameType.WELCOME,
+                {"config_id": self.table.config_id, "version": WIRE_VERSION},
+            )
+        )
+        return session
+
+    async def _drain_outbox(self, session: _Session) -> None:
+        """The session's single writer: serializes all outbound frames."""
+        try:
+            while True:
+                frame = await session.outbox.get()
+                session.writer.write(frame)
+                await session.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def _close_session(self, session: _Session) -> None:
+        if session.closed:
+            return
+        session.closed = True
+        self.sessions.pop(session.name, None)
+        self._emit_views(self.table.disconnect(session.name))
+        if session.writer_task is not None:
+            # Let queued frames flush briefly, then stop the writer.
+            with contextlib.suppress(asyncio.TimeoutError, asyncio.CancelledError):
+                await asyncio.wait_for(session.outbox.join(), timeout=0)
+            session.writer_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await session.writer_task
+        session.writer.close()
+        with contextlib.suppress(Exception):
+            await session.writer.wait_closed()
+
+    # -- membership --------------------------------------------------------
+
+    def _on_join(self, session: _Session, body: dict) -> None:
+        group = validate_group_name(body.get("group"))
+        self._emit_views([self.table.join(group, session.name)])
+
+    def _on_leave(self, session: _Session, body: dict) -> None:
+        group = validate_group_name(body.get("group"))
+        view = self.table.leave(group, session.name)
+        self._emit_views([view], also_to=(session.name,))
+
+    def _emit_views(self, views: List, also_to: Sequence[str] = ()) -> None:
+        """Broadcast each view to its members plus ``also_to`` (the leaver
+        still learns it is out, mirroring the simulator)."""
+        for view in views:
+            if view is None:
+                continue
+            self.views_emitted += 1
+            frame = pack_frame(
+                FrameType.VIEW,
+                {
+                    "group": view.group,
+                    "view_id": view.view_id,
+                    "members": view.members,
+                    "event": view.event.value,
+                    "joined": view.joined,
+                    "left": view.left,
+                },
+            )
+            wanted = set(view.members)
+            wanted.update(view.left)
+            wanted.update(also_to)
+            for name in wanted:
+                session = self.sessions.get(name)
+                if session is not None:
+                    session.send(frame)
+
+    # -- data --------------------------------------------------------------
+
+    def _on_multicast(self, session: _Session, body: dict) -> None:
+        group = validate_group_name(body.get("group"))
+        validate_payload_size(body.get("size_bytes", 0))
+        service = Service(body.get("service", Service.AGREED.value))
+        target = body.get("target")
+        payload = body.get("payload", b"")
+        if not isinstance(payload, bytes):
+            raise WireError("multicast payload must be bytes on the wire")
+        if service is Service.FIFO and target is None:
+            raise WireError("FIFO messages require a target member")
+        # Spread semantics: membership gates *receiving*, not sending — a
+        # non-member may multicast into a group (the simulator allows the
+        # same), so the sender is deliberately not checked here.
+        members = self.table.members(group)
+        # Consume one slot of the global order for Agreed traffic.  The
+        # whole routing below is synchronous, so every recipient's outbox
+        # observes the same sequence — the total-order guarantee.
+        if service is Service.AGREED:
+            self.table.next_seq()
+        self.messages_routed += 1
+        frame = pack_frame(
+            FrameType.DELIVER,
+            {
+                "group": group,
+                "sender": session.name,
+                "service": service.value,
+                "target": target,
+                "payload": payload,
+                "size_bytes": body.get("size_bytes", 0),
+                "kind": body.get("kind", "data"),
+            },
+        )
+        if target is not None:
+            if target in members:
+                recipient = self.sessions.get(target)
+                if recipient is not None:
+                    recipient.send(frame)
+            return
+        for name in members:
+            recipient = self.sessions.get(name)
+            if recipient is not None:
+                recipient.send(frame)
+
+    # -- failure suspicion -------------------------------------------------
+
+    async def _sweep_heartbeats(self) -> None:
+        """Drop clients silent past the timeout (suspected crashed)."""
+        interval = max(self.heartbeat_timeout_s / 4.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            now = asyncio.get_event_loop().time()
+            for session in list(self.sessions.values()):
+                if now - session.last_seen > self.heartbeat_timeout_s:
+                    self.suspected += 1
+                    await self._close_session(session)
+
+
+async def _amain(args) -> int:
+    daemon = NetDaemon(
+        host=args.host,
+        port=args.port,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+    )
+    port = await daemon.start()
+    print(f"LISTENING {port}", flush=True)
+    try:
+        await daemon._server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - signal-driven
+        pass
+    finally:
+        await daemon.stop()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.daemon",
+        description="Run a live Spread-like group communication daemon "
+        "(loopback/LAN benchmarking only; the wire trusts its peers).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free one and print it)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=DEFAULT_HEARTBEAT_TIMEOUT_S,
+        help="seconds of client silence before a suspected crash "
+        f"(default {DEFAULT_HEARTBEAT_TIMEOUT_S:g})",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

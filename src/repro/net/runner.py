@@ -1,0 +1,370 @@
+"""Run a whole secure group live: the asyncio Transport and its driver.
+
+:class:`AsyncioTransport` is the :class:`~repro.transport.Transport`
+implementation for the live backend: channels are
+:class:`~repro.net.client.NetClient` sockets into one
+:class:`~repro.net.daemon.NetDaemon`, the scheduler is the event loop's
+wall clock (:class:`~repro.net.compat.WallScheduler`), and "machines"
+are :class:`~repro.net.compat.WallMachine` pass-throughs — thirteen by
+default, mirroring the paper's LAN testbed layout so member-to-machine
+assignment matches the simulator's even though every process actually
+runs on this host.
+
+:class:`LiveGroupRunner` drives the ``bench live`` scenario end to end:
+spawn (or embed) a daemon, grow a secure group of *n* members by
+sequential joins, measure one join and one leave rekey with real
+wall-clock time on the shared :class:`~repro.core.timing.RekeyTimeline`,
+and report the ``member.rekey_ms`` percentile substrate alongside.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.framework import SecureSpreadFramework
+from repro.net.client import NetClient
+from repro.net.compat import WallMachine, WallScheduler
+from repro.net.daemon import NetDaemon
+from repro.transport.base import Transport
+
+#: default machine count: the paper's LAN testbed (13 dual-CPU hosts)
+DEFAULT_MACHINES = 13
+
+#: how often the settle loop re-checks the group's security predicate
+_POLL_INTERVAL_S = 0.005
+
+
+class AsyncioTransport:
+    """The live substrate: one daemon endpoint, NetClient channels."""
+
+    kind = "asyncio"
+    #: no virtual time, no fault injection, no causal tracing — callers
+    #: gate those features on this set (see ``repro.transport.base``)
+    capabilities = frozenset()
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        machines: int = DEFAULT_MACHINES,
+        heartbeat_interval_s: float = 2.0,
+    ) -> None:
+        if machines < 1:
+            raise ValueError("the transport needs at least one machine")
+        self.host = host
+        self.port = port
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self._machines = [
+            WallMachine(f"live{i:02d}") for i in range(machines)
+        ]
+        self._scheduler: Optional[WallScheduler] = None
+        #: every channel handed out, in creation order (the runner
+        #: connects and closes them)
+        self.channels: List[NetClient] = []
+        self.obs = None
+
+    # -- Transport interface ----------------------------------------------
+
+    @property
+    def scheduler(self) -> WallScheduler:
+        """Created lazily so the transport can be built before the event
+        loop is running; first touched inside the loop."""
+        if self._scheduler is None:
+            self._scheduler = WallScheduler()
+        return self._scheduler
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def channel(self, name: str, machine_index: int) -> NetClient:
+        client = NetClient(
+            name,
+            host=self.host,
+            port=self.port,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+        )
+        self.channels.append(client)
+        return client
+
+    def machine(self, machine_index: int) -> WallMachine:
+        return self._machines[machine_index]
+
+    def machine_count(self) -> int:
+        return len(self._machines)
+
+    def bind(self, obs) -> None:
+        self.obs = obs
+
+    def run_until_idle(self, max_events: int = 0) -> None:
+        raise RuntimeError(
+            "the asyncio transport runs in real time; there is no virtual "
+            "clock to drain — await the group's progress instead (see "
+            "repro.net.runner.LiveGroupRunner)"
+        )
+
+    # -- lifecycle helpers -------------------------------------------------
+
+    async def connect_all(self) -> None:
+        for client in self.channels:
+            if not client.connected:
+                await client.connect()
+
+    async def aclose(self) -> None:
+        for client in self.channels:
+            await client.aclose()
+
+
+class LiveGroupRunner:
+    """Drive one live secure group through the bench scenario.
+
+    ``daemon_mode`` is ``"spawn"`` (a real separate daemon process —
+    what ``bench live`` uses, so client traffic crosses process
+    boundaries over real TCP) or ``"inline"`` (the daemon shares this
+    event loop — no subprocess, used by the loopback tests).
+    """
+
+    def __init__(
+        self,
+        protocol: str = "TGDH",
+        size: int = 8,
+        dh_group: str = "dh-512",
+        engine=None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        daemon_mode: str = "spawn",
+        machines: int = DEFAULT_MACHINES,
+        timeout_s: float = 60.0,
+        heartbeat_interval_s: float = 1.0,
+        group_name: str = "secure-group",
+    ) -> None:
+        if size < 2:
+            raise ValueError("a live group needs at least 2 members")
+        if daemon_mode not in ("spawn", "inline"):
+            raise ValueError("daemon_mode must be 'spawn' or 'inline'")
+        self.protocol = protocol.upper()
+        self.size = size
+        self.dh_group = dh_group
+        self.engine = engine
+        self.seed = seed
+        self.host = host
+        self.port = port
+        self.daemon_mode = daemon_mode
+        self.machines = machines
+        self.timeout_s = timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.group_name = group_name
+        self.framework: Optional[SecureSpreadFramework] = None
+        self.transport: Optional[AsyncioTransport] = None
+        self._daemon: Optional[NetDaemon] = None
+        self._daemon_proc = None
+
+    # -- daemon lifecycle --------------------------------------------------
+
+    async def _start_daemon(self) -> int:
+        if self.daemon_mode == "inline":
+            self._daemon = NetDaemon(host=self.host, port=self.port or 0)
+            return await self._daemon.start()
+        env = dict(os.environ)
+        src_root = str(Path(sys.modules["repro"].__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        self._daemon_proc = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.net.daemon",
+            "--host",
+            self.host,
+            "--port",
+            str(self.port or 0),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+            env=env,
+        )
+        # Scan for the LISTENING banner: interpreter warnings (e.g.
+        # runpy's -m note about the package import) may precede it on the
+        # merged stream.
+        noise = []
+        deadline = asyncio.get_event_loop().time() + self.timeout_s
+        while True:
+            remaining = deadline - asyncio.get_event_loop().time()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"daemon did not report LISTENING within "
+                    f"{self.timeout_s:g}s; output so far: {noise}"
+                )
+            line = await asyncio.wait_for(
+                self._daemon_proc.stdout.readline(), timeout=remaining
+            )
+            if not line:
+                raise RuntimeError(f"daemon failed to start: {noise}")
+            text = line.decode(errors="replace").strip()
+            if text.startswith("LISTENING "):
+                return int(text.split()[1])
+            noise.append(text)
+
+    async def _stop_daemon(self) -> None:
+        if self._daemon is not None:
+            await self._daemon.stop()
+            self._daemon = None
+        if self._daemon_proc is not None:
+            if self._daemon_proc.returncode is None:
+                self._daemon_proc.terminate()
+            try:
+                await asyncio.wait_for(self._daemon_proc.wait(), timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover - stuck daemon
+                self._daemon_proc.kill()
+                await self._daemon_proc.wait()
+            self._daemon_proc = None
+
+    # -- the scenario ------------------------------------------------------
+
+    async def run(self) -> Dict:
+        """Grow the group, measure one join and one leave rekey, clean up.
+
+        Returns the live half of the ``BENCH_live.json`` document (see
+        :mod:`repro.bench.live` for the full schema).
+        """
+        port = await self._start_daemon()
+        try:
+            return await self._run_scenario(port)
+        finally:
+            if self.transport is not None:
+                await self.transport.aclose()
+            await self._stop_daemon()
+
+    async def _run_scenario(self, port: int) -> Dict:
+        self.transport = AsyncioTransport(
+            host=self.host,
+            port=port,
+            machines=self.machines,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+        )
+        framework = SecureSpreadFramework(
+            self.transport,
+            default_protocol=self.protocol,
+            dh_group=self.dh_group,
+            seed=self.seed,
+            observe=True,  # live runs always record rekey_ms percentiles
+            engine=self.engine,
+        )
+        self.framework = framework
+        started = self.transport.now
+        # Sequential growth, the paper's procedure: each join completes
+        # its rekey before the next member arrives.
+        members = []
+        for index in range(self.size):
+            member = framework.member(
+                f"m{index}", index % self.machines, self.group_name
+            )
+            await member.client.connect()
+            member.join()
+            members.append(member)
+            await self._settle(members)
+        # Measured join: one newcomer on the next machine in rotation.
+        joiner = framework.member(
+            "x1", self.size % self.machines, self.group_name
+        )
+        await joiner.client.connect()
+        framework.mark_event()
+        joiner.join()
+        members.append(joiner)
+        await self._settle(members)
+        join_stats = self._epoch_stats(framework)
+        # Restore the size (unmeasured), as the simulated harness does.
+        joiner.leave()
+        members.remove(joiner)
+        await self._settle(members)
+        joiner.client.disconnect()
+        # Measured leave: the middle member, the harness's victim choice.
+        victim = members[self.size // 2]
+        framework.mark_event()
+        victim.leave()
+        members.remove(victim)
+        await self._settle(members)
+        victim.client.disconnect()
+        leave_stats = self._epoch_stats(framework)
+        rekey = framework.obs.log_histogram(
+            "member.rekey_ms", group=self.group_name, protocol=self.protocol
+        )
+        result = {
+            "protocol": self.protocol,
+            "group_size": self.size,
+            "dh_group": self.dh_group,
+            "engine": framework.engine.name,
+            "seed": self.seed,
+            "daemon": {
+                "mode": self.daemon_mode,
+                "host": self.host,
+                "port": port,
+            },
+            "join": join_stats,
+            "leave": leave_stats,
+            "rekey_ms": {
+                "count": rekey.count,
+                "mean": rekey.mean,
+                "max": rekey.max,
+                **rekey.percentiles(),
+            },
+            "wall_elapsed_ms": self.transport.now - started,
+        }
+        for member in members:
+            member.client.disconnect()
+        return result
+
+    async def _settle(self, members: List) -> None:
+        """Wait until every listed member holds the key for a view whose
+        membership is exactly the listed set."""
+        expected = {member.name for member in members}
+        deadline = asyncio.get_event_loop().time() + self.timeout_s
+        while True:
+            if all(self._is_settled(member, expected) for member in members):
+                return
+            if asyncio.get_event_loop().time() > deadline:
+                laggards = sorted(
+                    member.name
+                    for member in members
+                    if not self._is_settled(member, expected)
+                )
+                raise TimeoutError(
+                    f"group did not settle on {sorted(expected)} within "
+                    f"{self.timeout_s:g}s; waiting on {laggards}"
+                )
+            await asyncio.sleep(_POLL_INTERVAL_S)
+
+    @staticmethod
+    def _is_settled(member, expected) -> bool:
+        view = member.protocol.view
+        return (
+            member.is_secure
+            and view is not None
+            and set(view.members) == expected
+        )
+
+    @staticmethod
+    def _epoch_stats(framework: SecureSpreadFramework) -> Dict:
+        record = framework.timeline.latest_complete()
+        return {
+            "total_ms": record.total_elapsed(),
+            "membership_ms": record.membership_elapsed(),
+            "key_agreement_ms": record.key_agreement_elapsed(),
+            "members": len(record.members),
+        }
+
+
+def run_live(**kwargs) -> Dict:
+    """Synchronous convenience wrapper: ``asyncio.run`` a LiveGroupRunner."""
+    return asyncio.run(LiveGroupRunner(**kwargs).run())
+
+
+# Imported for its side effect on type checking only: AsyncioTransport
+# must satisfy the structural Transport protocol.
+def _check_protocol() -> Transport:  # pragma: no cover - typing aid
+    return AsyncioTransport()

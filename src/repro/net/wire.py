@@ -1,0 +1,113 @@
+"""The length-prefixed wire protocol between NetClient and NetDaemon.
+
+Every frame on the socket is::
+
+    +----------------+--------+----------------------+
+    | length (u32 BE)| type   | body (pickled dict)  |
+    +----------------+--------+----------------------+
+         4 bytes       1 byte    length - 1 bytes
+
+``length`` counts the type byte plus the body.  The body is a plain
+``dict`` serialized with :mod:`pickle`; application payloads travel
+inside it as an opaque ``bytes`` field (the daemon routes them without
+deserializing).  Pickle keeps the wire format faithful to what the
+simulator passes by reference — arbitrary protocol-message objects —
+at the cost of trusting the peer, which is the right trade for a
+loopback/LAN measurement harness and documented as such.  Do not expose
+a daemon to untrusted networks.
+
+Frame sizes are bounded (:data:`MAX_FRAME_BYTES`) and validated on both
+ends, so a corrupt or hostile length prefix fails fast with
+:class:`WireError` instead of an unbounded allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from enum import IntEnum
+from typing import Any, Dict, Tuple
+
+#: bump when the frame layout or the handshake changes incompatibly
+WIRE_VERSION = 1
+
+#: hard cap on one frame: the 140 KB payload limit plus generous envelope
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(Exception):
+    """A malformed, oversized or out-of-protocol frame."""
+
+
+class FrameType(IntEnum):
+    """One byte on the wire, client->daemon unless noted."""
+
+    #: first frame after connect: ``{"name", "version"}``
+    HELLO = 1
+    #: daemon->client handshake reply: ``{"config_id", "version"}``
+    WELCOME = 2
+    #: ``{"group"}``
+    JOIN = 3
+    #: ``{"group"}``
+    LEAVE = 4
+    #: ``{"group", "service", "target", "payload", "size_bytes", "kind"}``
+    MULTICAST = 5
+    #: daemon->client data delivery: MULTICAST fields + ``{"sender"}``
+    DELIVER = 6
+    #: daemon->client view installation: ``{"group", "view_id", "members",
+    #: "event", "joined", "left"}``
+    VIEW = 7
+    #: heartbeat (either direction); body carries ``{"t"}`` for debugging
+    PING = 8
+    #: orderly goodbye (client->daemon); daemon treats it as disconnect
+    BYE = 9
+    #: daemon->client fatal protocol error: ``{"error"}``; connection closes
+    ERROR = 10
+
+
+def pack_frame(ftype: FrameType, body: Dict[str, Any]) -> bytes:
+    """Serialize one frame, length prefix included."""
+    blob = pickle.dumps(body, protocol=4)
+    length = len(blob) + 1
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _LENGTH.pack(length) + bytes((int(ftype),)) + blob
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Tuple[FrameType, Dict[str, Any]]:
+    """Read one frame; raises :class:`WireError` on malformed input and
+    :class:`asyncio.IncompleteReadError` on EOF mid-frame."""
+    header = await reader.readexactly(4)
+    (length,) = _LENGTH.unpack(header)
+    if not 1 <= length <= MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} out of bounds")
+    blob = await reader.readexactly(length)
+    try:
+        ftype = FrameType(blob[0])
+    except ValueError:
+        raise WireError(f"unknown frame type {blob[0]}") from None
+    try:
+        body = pickle.loads(blob[1:])
+    except Exception as error:  # pickle raises many concrete types
+        raise WireError(f"undecodable {ftype.name} body: {error}") from error
+    if not isinstance(body, dict):
+        raise WireError(f"{ftype.name} body must be a dict, got {type(body)}")
+    return ftype, body
+
+
+def encode_payload(payload: Any) -> bytes:
+    """Serialize an application payload for transit (opaque to the daemon)."""
+    return pickle.dumps(payload, protocol=4)
+
+
+def decode_payload(blob: bytes) -> Any:
+    """Inverse of :func:`encode_payload` (trusted peers only; see module
+    docstring)."""
+    return pickle.loads(blob)

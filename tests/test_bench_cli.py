@@ -5,7 +5,7 @@ import os
 
 import pytest
 
-from repro.bench.cli import FIGURES, build_parser, main
+from repro.bench.cli import FIGURES, build_parser, build_subcommand_parser, main
 from repro.gcs.topology import TESTBEDS
 from repro.obs import JSONL_SCHEMA_VERSION, validate_chrome_trace
 
@@ -119,6 +119,53 @@ def test_scale_observe_flag_prints_percentiles(capsys, tmp_path):
 def test_subcommand_rejects_unknown_protocol():
     with pytest.raises(SystemExit):
         main(["trace", "--protocol", "NOPE"])
+
+
+class TestTransportFlag:
+    """`--transport` selects the substrate; incompatible combinations are
+    rejected up front with an explanation, not a deep stack trace."""
+
+    def test_default_transport_is_sim(self):
+        args = build_subcommand_parser().parse_args(["scale", "--sizes", "4"])
+        assert args.transport == "sim"
+
+    def test_live_defaults_to_asyncio_and_live_json(self):
+        args = build_subcommand_parser().parse_args(
+            ["live", "--protocol", "tgdh"]
+        )
+        assert args.transport == "asyncio"
+        assert args.protocol == "TGDH"
+        assert args.out == "BENCH_live.json"
+
+    def test_sim_only_subcommand_rejects_asyncio(self, capsys):
+        code = main(["scale", "--sizes", "4", "--transport", "asyncio"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "virtual time" in err
+
+    def test_live_rejects_sim_transport(self, capsys):
+        code = main(["live", "--transport", "sim"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "asyncio" in err
+
+    def test_live_rejects_trace_log(self, capsys):
+        code = main(["live", "--trace", "events.jsonl"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "simulated event log" in err
+
+    def test_live_parser_accepts_size_and_daemon_mode(self):
+        args = build_subcommand_parser().parse_args(
+            ["live", "--protocol", "bd", "-n", "6", "--daemon", "inline"]
+        )
+        assert args.protocol == "BD"
+        assert args.size == 6
+        assert args.daemon == "inline"
+
+    def test_live_rejects_unknown_daemon_mode(self):
+        with pytest.raises(SystemExit):
+            build_subcommand_parser().parse_args(["live", "--daemon", "nope"])
 
 
 def test_every_registered_figure_is_well_formed():

@@ -10,7 +10,7 @@ from repro.gcs.messages import GroupMessage, SequencedMessage
 
 def _world_with_group(names):
     world = GcsWorld(lan_testbed())
-    clients = [world.client(n, i) for i, n in enumerate(names)]
+    clients = [world.channel(n, i) for i, n in enumerate(names)]
     for client in clients:
         client.join("g")
         world.run_until_idle()
@@ -138,15 +138,15 @@ class TestEdgePaths:
 
     def test_leave_of_non_member_ignored(self):
         world, (a, b) = _world_with_group(["a", "b"])
-        outsider = world.client("outsider", 5)
+        outsider = world.channel("outsider", 5)
         outsider.leave("g")
         world.run_until_idle()
         assert b.views[-1].members == ("a", "b")
 
     def test_disconnect_leaves_all_groups(self):
         world = GcsWorld(lan_testbed())
-        a = world.client("a", 0)
-        b = world.client("b", 1)
+        a = world.channel("a", 0)
+        b = world.channel("b", 1)
         for group in ("g1", "g2"):
             a.join(group)
             b.join(group)

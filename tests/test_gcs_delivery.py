@@ -67,9 +67,9 @@ class TestJoinLeave:
             bob.multicast("g", "zombie")
 
     def test_duplicate_client_name_rejected(self, world):
-        world.client("dup", 0)
+        world.channel("dup", 0)
         with pytest.raises(ValueError):
-            world.client("dup", 1)
+            world.channel("dup", 1)
 
 
 class TestAgreedOrdering:
@@ -106,14 +106,14 @@ class TestAgreedOrdering:
 
     def test_non_members_do_not_receive(self, world):
         alice, bob = _setup_group(world, ["alice", "bob"])
-        outsider = world.client("eve", 5)
+        outsider = world.channel("eve", 5)
         alice.multicast("g", "private")
         world.run_until_idle()
         assert outsider.received == []
 
     def test_two_groups_are_independent(self, world):
-        alice = world.client("alice", 0)
-        bob = world.client("bob", 1)
+        alice = world.channel("alice", 0)
+        bob = world.channel("bob", 1)
         alice.join("g1")
         bob.join("g2")
         world.run_until_idle()
@@ -139,7 +139,7 @@ class TestUnicast:
         """S6.2.2: an Agreed message costs far more than a raw unicast - the
         reason GDH's factor-out round dominates its WAN performance."""
         wan = GcsWorld(wan_testbed())
-        a, b = wan.client("a", 0), wan.client("b", 12)
+        a, b = wan.channel("a", 0), wan.channel("b", 12)
         a.join("g")
         b.join("g")
         wan.run_until_idle()
@@ -164,8 +164,8 @@ class TestLatencyBands:
 
     def test_wan_agreed_delivery_hundreds_of_milliseconds(self):
         wan = GcsWorld(wan_testbed())
-        a = wan.client("a", 0)
-        b = wan.client("b", 12)
+        a = wan.channel("a", 0)
+        b = wan.channel("b", 12)
         a.join("g"); b.join("g")
         wan.run_until_idle()
         stamp = {}

@@ -34,7 +34,7 @@ def test_total_order_and_views_hold_under_random_churn(script, data):
     for _ in range(3):
         name = f"m{counter[0]}"
         counter[0] += 1
-        client = world.client(name, counter[0] % 13)
+        client = world.channel(name, counter[0] % 13)
         client.join("g")
         clients[name] = client
     world.run_until_idle()
@@ -45,7 +45,7 @@ def test_total_order_and_views_hold_under_random_churn(script, data):
         if op == "join" or len(members) < 2:
             name = f"m{counter[0]}"
             counter[0] += 1
-            client = world.client(name, counter[0] % 13)
+            client = world.channel(name, counter[0] % 13)
             client.join("g")
             clients[name] = client
         elif op == "leave":

@@ -32,8 +32,8 @@ def test_simulator_pending_counter():
 
 def test_network_counts_drops_across_partition():
     world = GcsWorld(lan_testbed())
-    a = world.client("a", 0)
-    b = world.client("b", 1)
+    a = world.channel("a", 0)
+    b = world.channel("b", 1)
     a.join("g")
     world.run_until_idle()
     b.join("g")

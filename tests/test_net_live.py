@@ -1,0 +1,242 @@
+"""Tests for the asyncio backend: wire framing, daemon state, live rekey.
+
+The full secure-group loopback smokes are ``slow``-marked (they run the
+real crypto engine against wall-clock time); the framing, membership and
+handshake tests are tier-1.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gcs.messages import ViewEvent
+from repro.net.client import NetClient
+from repro.net.daemon import NetDaemon
+from repro.net.runner import LiveGroupRunner, run_live
+from repro.net.views import MembershipTable
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    FrameType,
+    WireError,
+    decode_payload,
+    encode_payload,
+    pack_frame,
+    read_frame,
+)
+
+
+class TestWire:
+    def _roundtrip(self, ftype, body):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(pack_frame(ftype, body))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(go())
+
+    def test_frame_roundtrip(self):
+        ftype, body = self._roundtrip(
+            FrameType.MULTICAST, {"group": "g", "payload": b"x" * 100}
+        )
+        assert ftype is FrameType.MULTICAST
+        assert body == {"group": "g", "payload": b"x" * 100}
+
+    def test_payload_roundtrip_preserves_objects(self):
+        payload = ("key-agreement", {"step": 1}, None, 0)
+        assert decode_payload(encode_payload(payload)) == payload
+
+    def test_oversized_frame_rejected_on_pack(self):
+        with pytest.raises(WireError, match="cap"):
+            pack_frame(FrameType.MULTICAST, {"blob": b"x" * MAX_FRAME_BYTES})
+
+    def test_bad_length_prefix_rejected(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\xff\xff\xff\xff" + b"junk")
+            reader.feed_eof()
+            with pytest.raises(WireError, match="out of bounds"):
+                await read_frame(reader)
+
+        asyncio.run(go())
+
+    def test_unknown_frame_type_rejected(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            blob = b"\x00\x00\x00\x02" + bytes((250,)) + b"x"
+            reader.feed_data(blob)
+            reader.feed_eof()
+            with pytest.raises(WireError, match="unknown frame type"):
+                await read_frame(reader)
+
+        asyncio.run(go())
+
+
+class TestMembershipTable:
+    def test_join_age_ordering(self):
+        table = MembershipTable()
+        table.join("g", "c")
+        table.join("g", "a")
+        table.join("g", "b")
+        assert table.members("g") == ("c", "a", "b")
+
+    def test_duplicate_join_is_none(self):
+        table = MembershipTable()
+        assert table.join("g", "a") is not None
+        assert table.join("g", "a") is None
+
+    def test_leave_view_and_absent_leave(self):
+        table = MembershipTable()
+        table.join("g", "a")
+        table.join("g", "b")
+        view = table.leave("g", "a")
+        assert view.members == ("b",)
+        assert view.left == ("a",)
+        assert view.event is ViewEvent.LEAVE
+        assert table.leave("g", "zz") is None
+
+    def test_view_ids_totally_ordered(self):
+        table = MembershipTable()
+        first = table.join("g", "a")
+        second = table.join("h", "a")
+        third = table.leave("g", "a")
+        assert first.view_id < second.view_id < third.view_id
+
+    def test_disconnect_leaves_every_group(self):
+        table = MembershipTable()
+        table.join("g", "a")
+        table.join("h", "a")
+        table.join("g", "b")
+        views = table.disconnect("a")
+        assert {view.group for view in views} == {"g", "h"}
+        assert table.members("g") == ("b",)
+        assert table.members("h") == ()
+
+
+class TestHandshake:
+    def _connect_raw(self, hello_frames):
+        """Open a raw socket to an inline daemon, send frames, read one."""
+
+        async def go():
+            daemon = NetDaemon()
+            port = await daemon.start()
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                for frame in hello_frames:
+                    writer.write(frame)
+                await writer.drain()
+                ftype, body = await asyncio.wait_for(read_frame(reader), timeout=5)
+                writer.close()
+                return ftype, body
+            finally:
+                await daemon.stop()
+
+        return asyncio.run(go())
+
+    def test_welcome_on_valid_hello(self):
+        ftype, body = self._connect_raw(
+            [pack_frame(FrameType.HELLO, {"name": "a", "version": WIRE_VERSION})]
+        )
+        assert ftype is FrameType.WELCOME
+        assert body["config_id"] == (1, 0)
+
+    def test_bad_name_rejected_with_error_frame(self):
+        ftype, body = self._connect_raw(
+            [pack_frame(FrameType.HELLO, {"name": "", "version": WIRE_VERSION})]
+        )
+        assert ftype is FrameType.ERROR
+        assert "member name" in body["error"]
+
+    def test_version_mismatch_rejected(self):
+        ftype, body = self._connect_raw(
+            [pack_frame(FrameType.HELLO, {"name": "a", "version": 99})]
+        )
+        assert ftype is FrameType.ERROR
+        assert "version" in body["error"]
+
+    def test_duplicate_name_rejected(self):
+        async def go():
+            daemon = NetDaemon()
+            port = await daemon.start()
+            try:
+                first = NetClient("dup", port=port)
+                await first.connect()
+                second = NetClient("dup", port=port)
+                with pytest.raises(ConnectionError, match="already in use"):
+                    await second.connect()
+                await first.aclose()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(go())
+
+    def test_heartbeat_expiry_suspects_client(self):
+        async def go():
+            daemon = NetDaemon(heartbeat_timeout_s=0.2)
+            port = await daemon.start()
+            try:
+                quiet = NetClient("quiet", port=port, heartbeat_interval_s=60)
+                witness = NetClient("witness", port=port, heartbeat_interval_s=0.05)
+                await quiet.connect()
+                await witness.connect()
+                quiet.join("g")
+                witness.join("g")
+                await asyncio.sleep(0.1)
+                # Stop the quiet client's tasks: no more frames, ever.
+                for task in quiet._tasks:
+                    task.cancel()
+                deadline = asyncio.get_event_loop().time() + 5
+                while "quiet" in daemon.sessions:
+                    assert asyncio.get_event_loop().time() < deadline
+                    await asyncio.sleep(0.05)
+                assert daemon.suspected == 1
+                await asyncio.sleep(0.1)
+                assert witness.views[-1].members == ("witness",)
+                await witness.aclose()
+                await quiet.aclose()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(go())
+
+
+class TestRunnerValidation:
+    def test_size_bounds(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            LiveGroupRunner(size=1)
+
+    def test_daemon_mode_validated(self):
+        with pytest.raises(ValueError, match="spawn.*inline|inline.*spawn"):
+            LiveGroupRunner(daemon_mode="carrier-pigeon")
+
+
+@pytest.mark.slow
+class TestLiveRekey:
+    """Full secure-group smoke over loopback TCP (real crypto, wall time)."""
+
+    def test_inline_daemon_rekey(self):
+        result = run_live(
+            protocol="TGDH",
+            size=4,
+            daemon_mode="inline",
+            timeout_s=60,
+            heartbeat_interval_s=0.5,
+        )
+        assert result["join"]["total_ms"] > 0
+        assert result["leave"]["total_ms"] > 0
+        assert result["rekey_ms"]["count"] > 0
+        assert result["rekey_ms"]["max"] > 0
+
+    def test_spawned_daemon_rekey(self):
+        result = run_live(
+            protocol="BD",
+            size=4,
+            daemon_mode="spawn",
+            timeout_s=60,
+            heartbeat_interval_s=0.5,
+        )
+        assert result["daemon"]["mode"] == "spawn"
+        assert result["join"]["total_ms"] > 0
+        assert result["leave"]["total_ms"] > 0
+        assert result["rekey_ms"]["count"] > 0

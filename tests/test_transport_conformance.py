@@ -1,0 +1,262 @@
+"""Transport conformance: the same contract on both substrates.
+
+Every scenario runs twice — once on the simulated world, once on the
+asyncio backend with an in-process daemon over real loopback sockets —
+asserting the interface guarantees of :mod:`repro.transport.base`:
+join/leave view delivery, join-age member ordering, Agreed total order
+(including under concurrent joins), and FIFO unicast targeting.
+
+Channels record a single merged event log per client (views and
+messages interleaved in delivery order), so cross-substrate assertions
+compare the one thing the contract promises: what each member observed,
+in order.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gcs import GcsWorld, lan_testbed
+from repro.net.daemon import NetDaemon
+from repro.net.client import NetClient
+
+GROUP = "conformance"
+
+
+class SimSubstrate:
+    """The simulated world behind the async harness interface."""
+
+    kind = "sim"
+
+    async def start(self):
+        self.world = GcsWorld(lan_testbed())
+        return self
+
+    async def channel(self, name, machine_index=0):
+        client = self.world.channel(name, machine_index)
+        _attach_log(client)
+        return client
+
+    async def settle(self):
+        self.world.run_until_idle()
+
+    async def stop(self):
+        pass
+
+
+class LiveSubstrate:
+    """An inline NetDaemon plus NetClient channels over loopback TCP."""
+
+    kind = "asyncio"
+
+    async def start(self):
+        self.daemon = NetDaemon()
+        self.port = await self.daemon.start()
+        self.clients = []
+        return self
+
+    async def channel(self, name, machine_index=0):
+        client = NetClient(name, port=self.port, heartbeat_interval_s=0.2)
+        await client.connect()
+        _attach_log(client)
+        self.clients.append(client)
+        return client
+
+    async def settle(self):
+        """Quiescence: the observed event count is stable across polls."""
+        stable = 0
+        last = -1
+        for _ in range(400):  # bounded: 400 * 10ms = 4s hard cap
+            await asyncio.sleep(0.01)
+            seen = sum(len(c.log) for c in self.clients)
+            if seen == last:
+                stable += 1
+                if stable >= 3:
+                    return
+            else:
+                stable = 0
+                last = seen
+        raise TimeoutError("live substrate did not quiesce within 4s")
+
+    async def stop(self):
+        for client in self.clients:
+            await client.aclose()
+        await self.daemon.stop()
+
+
+def _attach_log(client):
+    """One merged, ordered log of everything the channel delivered."""
+    client.log = []
+    client.on_view = lambda c, view: c.log.append(
+        ("view", view.event.value, view.members)
+    )
+    client.on_message = lambda c, msg: c.log.append(
+        ("msg", msg.sender, msg.payload)
+    )
+
+
+SUBSTRATES = [SimSubstrate, LiveSubstrate]
+
+
+def run_scenario(substrate_cls, scenario):
+    async def driver():
+        substrate = await substrate_cls().start()
+        try:
+            await scenario(substrate)
+        finally:
+            await substrate.stop()
+
+    asyncio.run(driver())
+
+
+@pytest.mark.parametrize("substrate_cls", SUBSTRATES, ids=lambda s: s.kind)
+class TestMembership:
+    def test_join_delivers_view_to_all_members(self, substrate_cls):
+        async def scenario(s):
+            alice = await s.channel("alice")
+            bob = await s.channel("bob", 1)
+            alice.join(GROUP)
+            await s.settle()
+            bob.join(GROUP)
+            await s.settle()
+            assert alice.views[-1].members == ("alice", "bob")
+            assert bob.views[-1].members == ("alice", "bob")
+            assert alice.views[-1].joined == ("bob",)
+
+        run_scenario(substrate_cls, scenario)
+
+    def test_members_ordered_by_join_age(self, substrate_cls):
+        async def scenario(s):
+            names = ["c3", "c1", "c2"]
+            clients = []
+            for index, name in enumerate(names):
+                client = await s.channel(name, index)
+                client.join(GROUP)
+                await s.settle()
+                clients.append(client)
+            final = clients[0].views[-1]
+            assert final.members == ("c3", "c1", "c2")
+
+        run_scenario(substrate_cls, scenario)
+
+    def test_leave_delivers_view_without_leaver(self, substrate_cls):
+        async def scenario(s):
+            clients = []
+            for index, name in enumerate(["alice", "bob", "carol"]):
+                client = await s.channel(name, index)
+                client.join(GROUP)
+                await s.settle()
+                clients.append(client)
+            alice, bob, carol = clients
+            bob.leave(GROUP)
+            await s.settle()
+            assert alice.views[-1].members == ("alice", "carol")
+            assert alice.views[-1].left == ("bob",)
+            # The leaver still learns it is out.
+            assert bob.views[-1].members == ("alice", "carol")
+
+        run_scenario(substrate_cls, scenario)
+
+    def test_disconnect_acts_as_leave(self, substrate_cls):
+        async def scenario(s):
+            alice = await s.channel("alice")
+            bob = await s.channel("bob", 1)
+            for client in (alice, bob):
+                client.join(GROUP)
+                await s.settle()
+            bob.disconnect()
+            await s.settle()
+            assert alice.views[-1].members == ("alice",)
+            with pytest.raises(RuntimeError):
+                bob.multicast(GROUP, "zombie")
+
+        run_scenario(substrate_cls, scenario)
+
+
+@pytest.mark.parametrize("substrate_cls", SUBSTRATES, ids=lambda s: s.kind)
+class TestAgreedOrder:
+    def test_all_members_deliver_same_order(self, substrate_cls):
+        async def scenario(s):
+            clients = []
+            for index in range(4):
+                client = await s.channel(f"m{index}", index)
+                client.join(GROUP)
+                await s.settle()
+                clients.append(client)
+            for index, client in enumerate(clients):
+                client.multicast(GROUP, f"msg-{index}")
+            await s.settle()
+            reference = [
+                entry for entry in clients[0].log if entry[0] == "msg"
+            ]
+            assert len(reference) == 4
+            for client in clients[1:]:
+                mine = [entry for entry in client.log if entry[0] == "msg"]
+                assert mine == reference
+
+        run_scenario(substrate_cls, scenario)
+
+    def test_agreed_order_under_concurrent_joins(self, substrate_cls):
+        async def scenario(s):
+            base = []
+            for index in range(3):
+                client = await s.channel(f"b{index}", index)
+                client.join(GROUP)
+                await s.settle()
+                base.append(client)
+            # Compare only what happens from here on: the base members
+            # joined at different times, so their log *prefixes* differ.
+            for client in base:
+                client.log.clear()
+            # Two joins and interleaved data race into the total order.
+            j1 = await s.channel("j1", 3)
+            j2 = await s.channel("j2", 4)
+            base[0].multicast(GROUP, "before")
+            j1.join(GROUP)
+            base[1].multicast(GROUP, "between")
+            j2.join(GROUP)
+            base[2].multicast(GROUP, "after")
+            await s.settle()
+            # All base members observe the identical interleaving of
+            # views and messages (the Agreed guarantee).
+            reference = base[0].log
+            assert len([e for e in reference if e[0] == "msg"]) == 3
+            for client in base[1:]:
+                assert client.log == reference
+
+        run_scenario(substrate_cls, scenario)
+
+    def test_unicast_reaches_only_the_target(self, substrate_cls):
+        async def scenario(s):
+            clients = []
+            for index, name in enumerate(["alice", "bob", "carol"]):
+                client = await s.channel(name, index)
+                client.join(GROUP)
+                await s.settle()
+                clients.append(client)
+            alice, bob, carol = clients
+            alice.unicast(GROUP, "bob", "psst")
+            await s.settle()
+            assert ("msg", "alice", "psst") in bob.log
+            assert all(entry[0] != "msg" for entry in alice.log)
+            assert all(entry[0] != "msg" for entry in carol.log)
+
+        run_scenario(substrate_cls, scenario)
+
+    def test_non_members_do_not_receive(self, substrate_cls):
+        """Membership gates receiving, not sending (Spread semantics):
+        an outsider's multicast reaches the group, but an outsider never
+        receives group traffic."""
+
+        async def scenario(s):
+            alice = await s.channel("alice")
+            outsider = await s.channel("eve", 1)
+            alice.join(GROUP)
+            await s.settle()
+            outsider.multicast(GROUP, "from-outside")
+            alice.multicast(GROUP, "private")
+            await s.settle()
+            assert ("msg", "eve", "from-outside") in alice.log
+            assert all(entry[0] != "msg" for entry in outsider.log)
+
+        run_scenario(substrate_cls, scenario)
