@@ -10,10 +10,13 @@ import os
 
 import pytest
 
+from repro.protocols import available
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-#: All five protocols, in the paper's presentation order.
-ALL_PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+#: Every registered protocol — the paper's five, in presentation order
+#: (which happens to be sorted order).
+ALL_PROTOCOLS = available()
 
 #: The group sizes sampled along the paper's 0-50 member x-axis.
 FIGURE_SIZES = (2, 4, 8, 13, 20, 26, 33, 40, 50)

@@ -11,8 +11,9 @@ Run:  python examples/protocol_comparison.py   (takes ~1 minute)
 
 from repro.bench import render_plot, render_series, sweep_group_sizes
 from repro.gcs.topology import lan_testbed, wan_testbed
+from repro.protocols import available
 
-PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+PROTOCOLS = available()
 SIZES = (4, 13, 26)
 
 

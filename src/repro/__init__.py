@@ -22,6 +22,8 @@ The package implements the full Secure Spread stack described in the paper:
 * :mod:`repro.faults` — deterministic, seeded fault injection (link
   faults, daemon crashes, timed scenario schedules).
 * :mod:`repro.analysis` — the paper's conceptual cost model (Table 1).
+* :mod:`repro.workload` — seeded arrival processes and the multi-group
+  churn engine driving sustained join/leave traffic.
 * :mod:`repro.bench` — the experiment harness regenerating the paper's
   tables and figures.
 
@@ -39,8 +41,10 @@ from repro.core.framework import SecureSpreadFramework
 from repro.crypto.engine import RealEngine, SymbolicEngine, get_engine
 from repro.faults import FaultSchedule, LinkFaults, LinkPolicy
 from repro.net import AsyncioTransport, LiveGroupRunner, NetClient, NetDaemon
+from repro.protocols import available, get_protocol, register
 from repro.transport import GroupChannel, Transport
 from repro.version import __version__
+from repro.workload import WorkloadResult, WorkloadSpec, run_workload
 
 __all__ = [
     "AsyncioTransport",
@@ -56,7 +60,13 @@ __all__ = [
     "SecureSpreadFramework",
     "SymbolicEngine",
     "Transport",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "available",
     "get_engine",
+    "get_protocol",
+    "register",
     "run_experiment",
+    "run_workload",
     "__version__",
 ]

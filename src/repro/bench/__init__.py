@@ -8,7 +8,9 @@ Figures 11, 12 and 14 do.  :mod:`repro.bench.pool` shards grid cells
 across worker processes behind a content-addressed result cache;
 :mod:`repro.bench.compare` diffs two benchmark artifacts for the exact
 perf-regression gate.  :mod:`repro.bench.report` renders the series as
-the tables/CSV the benchmark suite prints.
+the tables/CSV the benchmark suite prints.  :mod:`repro.bench.load`
+sweeps sustained multi-group churn workloads (:mod:`repro.workload`)
+across protocols and arrival processes.
 """
 
 from repro.bench.chaos import (
@@ -25,6 +27,11 @@ from repro.bench.harness import (
     grow_group_batched,
     measure_event,
     run_experiment,
+)
+from repro.bench.load import (
+    render_load_table,
+    run_load,
+    run_load_cell,
 )
 from repro.bench.plot import render_plot
 from repro.bench.pool import (
@@ -67,6 +74,7 @@ __all__ = [
     "pool_stats",
     "register_runner",
     "render_chaos_table",
+    "render_load_table",
     "render_plot",
     "render_scale_table",
     "render_series",
@@ -75,6 +83,8 @@ __all__ = [
     "run_chaos_cell",
     "run_experiment",
     "run_figure_cell",
+    "run_load",
+    "run_load_cell",
     "run_scale",
     "run_scale_cell",
     "series_to_csv",

@@ -36,12 +36,14 @@ from repro.core.framework import SecureSpreadFramework
 from repro.faults import LinkFaults
 from repro.gcs.topology import TESTBEDS
 from repro.obs.metrics import MetricsRegistry
+from repro.protocols import available
 
 #: Drop rates swept by default.  0.0 is the inertness control.
 CHAOS_DROP_RATES = (0.0, 0.05, 0.15)
 
-#: All five protocols the paper measures.
-CHAOS_PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+#: Every registered protocol (the paper's five, plus any plug-ins
+#: registered before this module is imported).
+CHAOS_PROTOCOLS = available()
 
 #: Epoch watchdog timeout used for chaos runs, virtual ms.  Comfortably
 #: above a clean LAN rekey (tens of ms) so the watchdog only fires on

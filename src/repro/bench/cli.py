@@ -19,6 +19,9 @@ One subcommand per job, all sharing the same core options
     python -m repro.bench scale --jobs 4         # shard cells over 4 workers
     python -m repro.bench chaos                  # rekeying under link faults
     python -m repro.bench chaos --drops 0 0.05 0.2 --size 8
+    python -m repro.bench load                   # sustained churn, many groups
+    python -m repro.bench load --arrivals poisson diurnal --no-storm
+    python -m repro.bench load --replay churn.json --protocols TGDH
     python -m repro.bench compare OLD.json NEW.json   # exact regression gate
     python -m repro.bench profile                # wall-clock self-profile
     python -m repro.bench profile --size 64 --protocols BD --no-profiler
@@ -31,7 +34,8 @@ next to the simulator's virtual-time prediction in ``BENCH_live.json``.
 Every other subcommand is simulator-only (``--transport sim``): fault
 injection, tracing and virtual time have no live equivalent.
 
-The grid-shaped subcommands (``figure``, ``scale``, ``chaos``) all take
+The grid-shaped subcommands (``figure``, ``scale``, ``chaos``, ``load``)
+all take
 ``--jobs N`` (worker processes, default: every CPU), ``--cache-dir``
 and ``--no-cache``: cells shard across workers and merge
 deterministically, and previously computed cells are served from a
@@ -60,6 +64,16 @@ from repro.bench.chaos import (
 )
 from repro.bench.compare import compare_files
 from repro.bench.harness import _fresh_framework, grow_group
+from repro.bench.load import (
+    LOAD_ARRIVALS,
+    LOAD_DURATION_MS,
+    LOAD_GROUP_SIZE,
+    LOAD_GROUPS,
+    LOAD_RATE_HZ,
+    render_load_table,
+    run_load,
+    write_load_json,
+)
 from repro.bench.plot import render_plot
 from repro.bench.pool import DEFAULT_CACHE_DIR, pool_stats
 from repro.bench.profiling import (
@@ -82,6 +96,8 @@ from repro.bench.series import (
     sweep_group_sizes_parallel,
 )
 from repro.gcs.topology import TESTBEDS
+from repro.protocols import available
+from repro.workload.engine import DEFAULT_STALL_TIMEOUT_MS
 from repro.obs import (
     MetricsRegistry,
     render_critical_paths,
@@ -91,14 +107,12 @@ from repro.obs import (
     validate_chrome_trace,
 )
 
-PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
-
 TOPOLOGIES = TESTBEDS
 
 #: The subcommand surface (a leading ``--`` selects the legacy flags).
 SUBCOMMANDS = (
     "figure", "table", "trace", "report", "critpath", "scale", "chaos",
-    "compare", "profile", "live",
+    "load", "compare", "profile", "live",
 )
 
 #: subcommands that can run on the asyncio transport; everything else
@@ -129,6 +143,36 @@ FIGURES = {
 
 # ---------------------------------------------------------------------------
 # parsers
+
+
+def add_protocol_args(
+    parser: argparse.ArgumentParser,
+    singular: bool = False,
+    default: Optional[str] = None,
+) -> None:
+    """Add the protocol-selection flag, wired to the live registry.
+
+    The choices come from :func:`repro.protocols.available` at parser
+    build time, so a protocol registered by an extension shows up in
+    every subcommand without touching this module — the registry is the
+    single source of truth for protocol names.  ``singular`` adds
+    ``--protocol NAME`` (one protocol, default ``default`` or TGDH);
+    otherwise ``--protocols NAME...`` (default: all registered).
+    """
+    choices = available()
+    if singular:
+        parser.add_argument(
+            "--protocol", type=str.upper, choices=choices,
+            default=default or "TGDH",
+            help=f"key agreement protocol, case-insensitive "
+            f"(default {default or 'TGDH'})",
+        )
+    else:
+        parser.add_argument(
+            "--protocols", nargs="+", type=str.upper, choices=choices,
+            default=list(choices),
+            help="protocols to include (default: all registered)",
+        )
 
 
 def build_common_parser() -> argparse.ArgumentParser:
@@ -187,10 +231,7 @@ def _add_figure_options(parser: argparse.ArgumentParser) -> None:
         "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
         help="group sizes to sample (default: the paper's 2-50 sweep)",
     )
-    parser.add_argument(
-        "--protocols", nargs="+", default=list(PROTOCOLS),
-        choices=PROTOCOLS, help="protocols to include",
-    )
+    add_protocol_args(parser)
     parser.add_argument(
         "--repeats", type=int, default=2, help="events averaged per size"
     )
@@ -205,10 +246,7 @@ def _add_figure_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_event_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--protocol", choices=PROTOCOLS, default="TGDH",
-        help="key agreement protocol (default TGDH)",
-    )
+    add_protocol_args(parser, singular=True)
     parser.add_argument(
         "--size", type=int, default=16,
         help="settled group size before the event (default 16)",
@@ -318,10 +356,7 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "--sizes", type=int, nargs="+", default=list(SCALE_SIZES),
         help="group sizes to sample (default: 32..1024, powers of two)",
     )
-    scale.add_argument(
-        "--protocols", nargs="+", default=list(PROTOCOLS),
-        choices=PROTOCOLS, help="protocols to include",
-    )
+    add_protocol_args(scale)
     _add_testbed_options(scale)
     scale.add_argument(
         "--repeats", type=int, default=1, help="events averaged per size"
@@ -345,10 +380,7 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         help="per-frame drop probabilities to sweep (default: "
         f"{' '.join(str(r) for r in CHAOS_DROP_RATES)})",
     )
-    chaos.add_argument(
-        "--protocols", nargs="+", default=list(PROTOCOLS),
-        choices=PROTOCOLS, help="protocols to include",
-    )
+    add_protocol_args(chaos)
     chaos.add_argument(
         "--size", type=int, default=6,
         help="settled group size before the faulty join (default 6)",
@@ -365,6 +397,58 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     _add_pool_options(chaos)
     chaos.set_defaults(engine="symbolic", out="BENCH_chaos.json")
 
+    load = sub.add_parser(
+        "load", parents=[build_common_parser()],
+        help="sustained-churn workload: many concurrent groups under "
+        "seeded join/leave traffic (rekey latency percentiles, "
+        "throughput, post-storm convergence)",
+    )
+    add_protocol_args(load)
+    load.add_argument(
+        "--arrivals", nargs="+", default=list(LOAD_ARRIVALS),
+        choices=("poisson", "flash", "diurnal"),
+        help="arrival processes to sweep (default: "
+        f"{' '.join(LOAD_ARRIVALS)})",
+    )
+    load.add_argument(
+        "--groups", type=int, default=LOAD_GROUPS,
+        help=f"concurrent groups on the testbed (default {LOAD_GROUPS})",
+    )
+    load.add_argument(
+        "--group-size", type=int, default=LOAD_GROUP_SIZE,
+        help=f"settled members per group (default {LOAD_GROUP_SIZE})",
+    )
+    load.add_argument(
+        "--rate", type=float, default=LOAD_RATE_HZ, metavar="HZ",
+        help=f"churn events per second across all groups "
+        f"(default {LOAD_RATE_HZ:g})",
+    )
+    load.add_argument(
+        "--duration-ms", type=float, default=LOAD_DURATION_MS,
+        help=f"sustained-phase length in virtual ms "
+        f"(default {LOAD_DURATION_MS:g})",
+    )
+    load.add_argument(
+        "--no-storm", dest="storm", action="store_false",
+        help="drop the composed partition storm (a half/half testbed "
+        "split at 75%% of the run, healed 300 ms later)",
+    )
+    load.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="replay a recorded churn trace (a JSON list of "
+        "{at_ms, group, action} entries) instead of the generated "
+        "arrival processes",
+    )
+    load.add_argument(
+        "--stall-timeout-ms", type=float, default=DEFAULT_STALL_TIMEOUT_MS,
+        help="epoch watchdog timeout in virtual ms; always armed here — "
+        "sustained churn stalls agreements even fault-free "
+        f"(default {DEFAULT_STALL_TIMEOUT_MS:g})",
+    )
+    _add_testbed_options(load)
+    _add_pool_options(load)
+    load.set_defaults(engine="symbolic", out="BENCH_load.json")
+
     profile = sub.add_parser(
         "profile", parents=[build_common_parser()],
         help="self-profiling micro-sweep: wall-clock attribution + "
@@ -377,10 +461,7 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         help=f"settled group size per cell (default {PROFILE_SIZE}; the "
         "committed baseline was recorded at the default)",
     )
-    profile.add_argument(
-        "--protocols", nargs="+", default=list(PROTOCOLS),
-        choices=PROTOCOLS, help="protocols to include",
-    )
+    add_protocol_args(profile)
     _add_testbed_options(profile)
     profile.add_argument(
         "--top", type=int, default=15,
@@ -410,10 +491,7 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "wall-clock join/leave rekey latency, and cross-validate against "
         "the simulator's virtual-time prediction",
     )
-    live.add_argument(
-        "--protocol", type=str.upper, choices=PROTOCOLS, default="TGDH",
-        help="key agreement protocol, case-insensitive (default TGDH)",
-    )
+    add_protocol_args(live, singular=True)
     live.add_argument(
         "-n", "--size", type=int, default=8,
         help="settled group size before the measured events (default 8)",
@@ -624,6 +702,74 @@ def run_chaos_command(args) -> int:
         print(
             f"error: {samples - converged} of {samples} samples did not "
             "converge on a shared key",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def run_load_command(args) -> int:
+    arrivals = list(args.arrivals)
+    trace: List[dict] = []
+    if args.replay:
+        with open(args.replay, encoding="utf-8") as handle:
+            recorded = json.load(handle)
+        if isinstance(recorded, dict):
+            recorded = recorded.get("events", recorded.get("trace"))
+        if not isinstance(recorded, list):
+            raise ValueError(
+                f"{args.replay}: expected a JSON list of churn events "
+                "(or an object with an 'events' list)"
+            )
+        trace = recorded  # validated by WorkloadSpec at grid build time
+        arrivals = ["trace"]
+    metrics = MetricsRegistry(enabled=True)
+    results = run_load(
+        protocols=args.protocols,
+        arrivals=arrivals,
+        groups=args.groups,
+        group_size=args.group_size,
+        rate_hz=args.rate,
+        duration_ms=args.duration_ms,
+        seed=args.seed,
+        topology=args.topology,
+        dh_group=args.dh_group,
+        engine=args.engine,
+        stall_timeout_ms=args.stall_timeout_ms,
+        storm=args.storm,
+        trace=trace,
+        progress=lambda line: print(f"  {line}", flush=True),
+        metrics=metrics,
+        **_pool_kwargs(args),
+    )
+    write_load_json(
+        args.out,
+        results,
+        protocols=list(args.protocols),
+        arrivals=arrivals,
+        groups=args.groups,
+        group_size=args.group_size,
+        rate_hz=args.rate,
+        duration_ms=args.duration_ms,
+        storm=args.storm,
+        engine=args.engine,
+        topology=args.topology,
+        dh_group=args.dh_group,
+        seed=args.seed,
+        stall_timeout_ms=args.stall_timeout_ms,
+    )
+    print()
+    print(render_load_table(results))
+    converged = sum(1 for cell in results if cell.converged)
+    print(f"\nwrote {args.out}: {len(results)} cells, "
+          f"{converged}/{len(results)} fully converged")
+    _print_pool_stats(metrics)
+    if converged < len(results):
+        # Same acceptance bar as chaos: the watchdog is supposed to
+        # recover every group, so a cell below it is a failure.
+        print(
+            f"error: {len(results) - converged} of {len(results)} cells "
+            "did not converge every group on a shared key",
             file=sys.stderr,
         )
         return 1
@@ -874,6 +1020,8 @@ def run_subcommand(argv: Sequence[str]) -> int:
         return run_critpath_command(args)
     if args.command == "scale":
         return run_scale_command(args)
+    if args.command == "load":
+        return run_load_command(args)
     if args.command == "compare":
         return run_compare_command(args)
     if args.command == "profile":

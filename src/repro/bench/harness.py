@@ -172,6 +172,7 @@ def grow_group_batched(
     existing: Optional[List] = None,
     group_name: str = "secure-group",
     max_events: int = LARGE_RUN_MAX_EVENTS,
+    machine_of: Optional[Callable[[int], int]] = None,
 ) -> List:
     """Grow the group to ``size`` members with a *single* rekey.
 
@@ -185,14 +186,20 @@ def grow_group_batched(
 
     ``existing`` is the list of members already in the group (defaults to
     every member created for ``group_name``); returns the new members,
-    like :func:`grow_group`.
+    like :func:`grow_group`.  ``machine_of`` overrides the default
+    ``index % machines`` placement — the workload engine uses it to
+    stagger many groups across the testbed instead of piling every
+    group's member 0 onto machine 0.
     """
     if existing is None:
         existing = framework.members_of(group_name)
     base_names = {member.name for member in existing}
     machines = len(framework.world.topology.machines)
+    if machine_of is None:
+        def machine_of(index: int) -> int:
+            return index % machines
     joiners = [
-        framework.member(f"{prefix}{index}", index % machines, group_name)
+        framework.member(f"{prefix}{index}", machine_of(index), group_name)
         for index in range(start, size)
     ]
     if not joiners:

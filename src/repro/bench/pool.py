@@ -72,6 +72,7 @@ def _ensure_runners() -> None:
     and only ever import :mod:`repro.bench.pool` itself.
     """
     import repro.bench.chaos  # noqa: F401
+    import repro.bench.load  # noqa: F401
     import repro.bench.scale  # noqa: F401
     import repro.bench.series  # noqa: F401
 

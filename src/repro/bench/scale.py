@@ -44,12 +44,14 @@ from repro.bench.harness import (
 from repro.bench.pool import Cell, register_runner, run_cells
 from repro.crypto.ledger import OpCounts
 from repro.obs.metrics import MetricsRegistry
+from repro.protocols import available
 
 #: Group sizes sampled by default — powers of two from 32 to 1024.
 SCALE_SIZES = (32, 64, 128, 256, 512, 1024)
 
-#: All five protocols the paper measures.
-SCALE_PROTOCOLS = ("BD", "CKD", "GDH", "STR", "TGDH")
+#: Every registered protocol (the paper's five, plus any plug-ins
+#: registered before this module is imported).
+SCALE_PROTOCOLS = available()
 
 
 def _ledger_totals(principals) -> OpCounts:

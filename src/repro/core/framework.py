@@ -21,7 +21,7 @@ from repro.crypto.rsa import RsaPublicKey
 from repro.gcs.topology import Topology
 from repro.gcs.world import GcsWorld
 from repro.obs import DEFAULT_CAPACITY, Observability
-from repro.protocols import PROTOCOLS
+from repro.protocols import available, get_protocol
 from repro.protocols.base import KeyAgreementProtocol
 from repro.transport.base import Transport
 
@@ -64,10 +64,10 @@ class SecureSpreadFramework:
             substrate = topology
         if substrate is None:
             raise TypeError("SecureSpreadFramework requires a substrate")
-        if default_protocol not in PROTOCOLS:
+        if default_protocol not in available():
             raise ValueError(
                 f"unknown protocol {default_protocol!r}; "
-                f"choose from {sorted(PROTOCOLS)}"
+                f"choose from {list(available())}"
             )
         #: the crypto engine every member's protocol computes with;
         #: ``"symbolic"`` unlocks large-n runs with identical simulated
@@ -122,15 +122,18 @@ class SecureSpreadFramework:
 
     def set_group_protocol(self, group_name: str, protocol: str) -> None:
         """Assign a key agreement protocol to a group (before members join)."""
-        if protocol not in PROTOCOLS:
-            raise ValueError(f"unknown protocol {protocol!r}")
+        if protocol not in available():
+            raise ValueError(
+                f"unknown protocol {protocol!r}; "
+                f"choose from {list(available())}"
+            )
         self._group_protocols[group_name] = protocol
 
     def protocol_name(self, group_name: str) -> str:
         return self._group_protocols.get(group_name, self.default_protocol)
 
     def protocol_class(self, group_name: str) -> Type[KeyAgreementProtocol]:
-        return PROTOCOLS[self.protocol_name(group_name)]
+        return get_protocol(self.protocol_name(group_name))
 
     # -- members ----------------------------------------------------------------
 

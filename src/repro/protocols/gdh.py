@@ -47,6 +47,14 @@ class GdhProtocol(KeyAgreementProtocol):
         self._factors: Dict[str, int] = {}
         self._chain: List[str] = []
         self._previous_members: Tuple[str, ...] = ()
+        #: True while our contribution has been refreshed but not yet
+        #: embedded in an adopted key list — a subtractive shift of a
+        #: list that predates the refresh would silently mis-key us
+        self._r_dirty = False
+        #: epoch in which we last factored out our contribution (a key
+        #: list built from this epoch's factors embeds our current
+        #: contribution, so adopting it is safe even while dirty)
+        self._factored_epoch: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
 
@@ -62,9 +70,33 @@ class GdhProtocol(KeyAgreementProtocol):
             return self._start_additive(view, previous)
         return self._start_subtractive(view)
 
+    def restart(self, view: View) -> List[ProtocolMessage]:
+        """Re-form from scratch after a declared stall.
+
+        A stall means the cached lists or contributions diverged across
+        members (that is exactly what the fast-path guards detect);
+        retrying the cached-list paths would stall again forever.  Every
+        member drops its cache — restart runs at the same point in the
+        Agreed total order everywhere, so the reset is coordinated —
+        and the oldest member leads initial key agreement.
+        """
+        self.key_epoch = None
+        self._begin_epoch(view)
+        self._factors = {}
+        self._chain = []
+        self._partials = {}
+        self._factored_epoch = None
+        # _r and _r_dirty survive: the restarted formation hands every
+        # member a fresh contribution (and clears the flag) on its own.
+        self._previous_members = view.members
+        if len(view.members) == 1:
+            return self._bootstrap()
+        return self._start_formation(view)
+
     def _bootstrap(self) -> List[ProtocolMessage]:
         self._r = self.ctx.random_exponent(self.rng)
         self._partials = {self.member: self.group.g}
+        self._r_dirty = False  # a singleton's list trivially embeds it
         self._complete(self.ctx.exp_g(self._r))
         return []
 
@@ -77,22 +109,29 @@ class GdhProtocol(KeyAgreementProtocol):
     def _start_additive(self, view: View, previous) -> List[ProtocolMessage]:
         new_members = self._new_members()
         old_members = [m for m in view.members if m not in view.joined]
-        if (
-            not new_members
-            or not old_members
-            or not set(old_members) <= set(self._partials)
-        ):
-            # Either no prior subgroup survives intact, or a cascaded event
-            # interrupted the previous agreement and the cached partial-key
-            # list no longer covers the old membership (every member's list
-            # agrees, so the fallback decision is uniform): run initial key
-            # agreement led by the oldest member.
+        if not new_members or not old_members:
+            # No prior subgroup survives intact.  This condition is
+            # derived from the view alone, so every member reaches it
+            # identically: initial key agreement, led by the oldest.
             return self._start_formation(view)
         old_controller = old_members[-1]
         if self.member != old_controller:
+            # Exactly one member — the old controller — decides between
+            # the cached-list fast path and re-formation.  After a
+            # partition, a key-list broadcast may have been adopted on
+            # one side only, so per-member fallback decisions can
+            # disagree and race *two* agreements in one epoch; their
+            # interleaved key lists then complete members with
+            # mismatched contributions and the group silently diverges.
             return []
+        if not set(old_members) <= set(self._partials):
+            # Our cache cannot seed the token (a cascaded event
+            # interrupted the previous agreement): re-form, led by us —
+            # one initiator per epoch whichever path is taken.
+            return self._start_formation(view, leader=self.member)
         # Refresh our contribution and launch the token down the new chain.
         self._r = self.ctx.random_exponent(self.rng)
+        self._r_dirty = True
         token = self.ctx.exp(self._partials[self.member], self._r)
         self._chain = new_members
         return [
@@ -106,11 +145,21 @@ class GdhProtocol(KeyAgreementProtocol):
             )
         ]
 
-    def _start_formation(self, view: View) -> List[ProtocolMessage]:
-        """Initial key agreement: treat everyone but the oldest as new."""
-        if self.member != view.oldest:
+    def _start_formation(
+        self, view: View, leader: Optional[str] = None
+    ) -> List[ProtocolMessage]:
+        """Initial key agreement: treat everyone but the leader as new.
+
+        The leader defaults to the oldest member (the view-only fallback
+        cases); the fast-path deciders pass themselves so that the
+        member making the fallback decision is also the one initiator.
+        """
+        if leader is None:
+            leader = view.oldest
+        if self.member != leader:
             return []
         self._r = self.ctx.random_exponent(self.rng)
+        self._r_dirty = True
         self._partials = {self.member: self.group.g}
         token = self.ctx.exp_g(self._r)
         chain = [m for m in view.members if m != self.member]
@@ -155,6 +204,7 @@ class GdhProtocol(KeyAgreementProtocol):
                 )
             ]
         self._r = self.ctx.random_exponent(self.rng)
+        self._r_dirty = True
         value = self.ctx.exp(message.body["value"], self._r)
         return [
             self._message(
@@ -178,6 +228,7 @@ class GdhProtocol(KeyAgreementProtocol):
         factor = self.ctx.exp(
             message.body["value"], self.ctx.inv_exponent(self._r)
         )
+        self._factored_epoch = self.view.view_id
         return [
             self._message(
                 "gdh-factor",
@@ -209,6 +260,7 @@ class GdhProtocol(KeyAgreementProtocol):
         }
         partials[self.member] = upflow
         self._partials = partials
+        self._r_dirty = False
         self._complete(self.ctx.exp(upflow, self._r))
         return [
             self._message(
@@ -219,22 +271,36 @@ class GdhProtocol(KeyAgreementProtocol):
         ]
 
     def _on_keylist(self, message: ProtocolMessage) -> List[ProtocolMessage]:
+        if self._r_dirty and self._factored_epoch != self.view.view_id:
+            # This key list was not built from our factor (we sent none
+            # this epoch, so it must be a subtractive shift of a cached
+            # list), and our contribution was refreshed by an agreement
+            # that never completed — so the list embeds our *old*
+            # contribution and the key we would compute silently differs
+            # from everyone else's.  Stall instead; the epoch watchdog
+            # drives a coordinated re-formation from scratch.
+            return []
         self._partials = dict(message.body["partials"])
         self._complete(self.ctx.exp(self._partials[self.member], self._r))
+        self._r_dirty = False
         return []
 
     # -- subtractive events (leave / partition) --------------------------
 
     def _start_subtractive(self, view: View) -> List[ProtocolMessage]:
-        if not set(view.members) <= set(self._partials):
-            # A cascaded event interrupted the previous agreement; the
-            # cached list cannot rekey this membership.  Everyone's cached
-            # list agrees (views and key lists are totally ordered), so all
-            # members uniformly fall back to initial key agreement.
-            return self._start_formation(view)
         controller = view.newest  # the most recent remaining member
         if self.member != controller:
+            # Single decision point, as in the additive case: only the
+            # controller chooses between the one-round rekey and
+            # re-formation, because cached lists can differ across
+            # members after a partition interrupted an agreement.
             return []
+        if self._r_dirty or not set(view.members) <= set(self._partials):
+            # Our own contribution isn't embedded in our cache (an
+            # interrupted agreement refreshed it), or the cache doesn't
+            # cover the survivors: the shift rekey would mis-key the
+            # group.  Re-form instead, led by us.
+            return self._start_formation(view, leader=self.member)
         fresh = self.ctx.random_exponent(self.rng)
         shift = self.ctx.exponent_product(fresh, self.ctx.inv_exponent(self._r))
         partials = {}

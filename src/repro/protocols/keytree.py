@@ -156,9 +156,13 @@ class KeyTree:
             node = node.parent
         return "".join(reversed(bits))
 
-    def find(self, node_id: str) -> TreeNode:
+    def find(self, node_id: str) -> Optional[TreeNode]:
+        """The node at ``node_id``, or None when the path does not exist
+        in this tree (divergent shapes after an interrupted cascade)."""
         node = self.root
         for bit in node_id:
+            if node is None:
+                return None
             node = node.left if bit == "0" else node.right
         return node
 

@@ -157,6 +157,18 @@ class TgdhProtocol(KeyAgreementProtocol):
             self.view.members
         ):
             return []
+        # The collected component trees must partition the membership.
+        # A cascade can leave them *overlapping* (a member's stale
+        # singleton alongside a full component tree that also contains
+        # it); folding that would plant duplicate leaves and corrupt the
+        # tree.  Every member sees the same Agreed broadcasts, so all of
+        # them detect the overlap and stall identically — the epoch
+        # watchdog then drives a coordinated restart from singleton
+        # leaves, which always partitions cleanly.
+        if sum(len(members) for members in self._collected) != len(
+            self.view.members
+        ):
+            return []
         # Deterministic fold: largest tree first, ties by member names.
         trees = [
             KeyTree.deserialize(data)
@@ -180,7 +192,9 @@ class TgdhProtocol(KeyAgreementProtocol):
         leaf.key = self._session
         for updates in self._pending_updates:
             for node_id, bkey in updates.items():
-                self._tree.find(node_id).bkey = bkey
+                node = self._tree.find(node_id)
+                if node is not None:  # unknown id: divergent fold, see receive()
+                    node.bkey = bkey
         self._pending_updates = []
         return self._advance()
 
@@ -340,6 +354,13 @@ class TgdhProtocol(KeyAgreementProtocol):
                 return []
             for node_id, bkey in message.body["updates"].items():
                 node = self._tree.find(node_id)
+                if node is None:
+                    # A cascade left the sender's folded tree shaped
+                    # differently from ours; this attempt cannot complete.
+                    # Drop the unknown node and let the epoch watchdog
+                    # drive the coordinated restart (which re-forms the
+                    # tree from singleton leaves deterministically).
+                    continue
                 node.bkey = bkey
             return self._advance()
         raise ValueError(f"unknown TGDH step {message.step!r}")

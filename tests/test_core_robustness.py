@@ -288,3 +288,42 @@ def test_deferred_view_superseded_by_cascade_before_flush(protocol):
     for member in everyone:
         assert member.protocol.view.view_id == final_stash.view_id
         assert member.protocol.done_for(member.protocol.view)
+
+
+def test_gdh_interrupted_agreement_then_churn_stays_uniform():
+    """Regression for silent GDH divergence: a partition that interrupts
+    an agreement leaves the two sides with different cached partial-key
+    lists (the key-list broadcast lands on one side only).  Churn after
+    the heal used to let two members fall back independently and race
+    two agreements in one epoch, completing members on *different* keys
+    with none the wiser.  Now exactly one member — the controller —
+    decides fast-path vs re-formation per epoch, and a member whose
+    refreshed contribution never reached an adopted list refuses a
+    subtractive shift (the watchdog then re-forms from scratch), so
+    every epoch ends with all members on one key."""
+    fw = _framework("GDH", stall_timeout_ms=400.0)
+    members = _settled_group(fw, 6)
+    late = fw.member("late", 7)
+    late.join()  # agreement in flight when the network tears
+    fw.world.partition([[0, 1, 2, 7], [3, 4, 5, 6] + list(range(8, 13))])
+    fw.run_until_idle()
+    fw.world.heal()
+    fw.run_until_idle()
+    everyone = members + [late]
+    merged = {m.key_bytes for m in everyone}
+    assert len(merged) == 1 and None not in merged
+    # Subtractive then additive churn on the healed group: the cached
+    # lists were rebuilt by the merge, and every epoch must stay uniform.
+    members[2].leave()
+    fw.run_until_idle()
+    survivors = [m for m in everyone if m is not members[2]]
+    keys = {m.key_bytes for m in survivors}
+    assert len(keys) == 1 and None not in keys
+    newcomer = fw.member("fresh", 8)
+    newcomer.join()
+    fw.run_until_idle()
+    survivors.append(newcomer)
+    keys = {m.key_bytes for m in survivors}
+    assert len(keys) == 1 and None not in keys
+    for member in survivors:
+        assert member.protocol.done_for(member.protocol.view)

@@ -1,0 +1,263 @@
+"""Tests for the sustained-churn workload package (`repro.workload`)."""
+
+import json
+
+import pytest
+
+from repro.bench.pool import canonical_json
+from repro.workload import (
+    ChurnEvent,
+    WorkloadEngine,
+    WorkloadSpec,
+    diurnal_stream,
+    flash_stream,
+    poisson_stream,
+    run_workload,
+    stream_populations,
+    trace_stream,
+)
+from repro.workload.engine import group_converged
+
+
+# -- spec validation and round-trip -----------------------------------------
+
+
+def test_spec_roundtrips_through_to_spec():
+    spec = WorkloadSpec(
+        protocol="tgdh",  # case-normalized at construction
+        arrival="flash",
+        groups=3,
+        group_size=4,
+        rate_hz=10.0,
+        duration_ms=500.0,
+        seed=42,
+        burst_at_ms=250.0,
+        burst_joins=5,
+        faults=(
+            {"at_ms": 100.0, "action": "partition", "components": [[0, 1], [2]]},
+            {"at_ms": 200.0, "action": "heal"},
+        ),
+    )
+    assert spec.protocol == "TGDH"
+    rebuilt = WorkloadSpec.from_spec(spec.to_spec())
+    assert rebuilt == spec
+    # The canonical JSON of the spec dict is the pool's cache-key input:
+    # the round trip must preserve it byte for byte.
+    assert canonical_json(rebuilt.to_spec()) == canonical_json(spec.to_spec())
+
+
+def test_spec_roundtrip_survives_json():
+    spec = WorkloadSpec(protocol="GDH", arrival="trace", trace=(
+        {"at_ms": 1.0, "group": 0, "action": "join"},
+    ))
+    wire = json.dumps(spec.to_spec())
+    assert WorkloadSpec.from_spec(json.loads(wire)) == spec
+
+
+def test_spec_rejects_unknown_protocol():
+    with pytest.raises(ValueError, match="unknown protocol 'NOPE'"):
+        WorkloadSpec(protocol="nope")
+
+
+def test_spec_rejects_unknown_arrival():
+    with pytest.raises(ValueError, match="unknown arrival process"):
+        WorkloadSpec(protocol="TGDH", arrival="bursty")
+
+
+def test_spec_rejects_unknown_fault_action():
+    with pytest.raises(ValueError, match="unknown fault action"):
+        WorkloadSpec(
+            protocol="TGDH",
+            faults=({"at_ms": 1.0, "action": "explode"},),
+        )
+
+
+def test_spec_rejects_unknown_churn_action():
+    with pytest.raises(ValueError, match="unknown churn action"):
+        WorkloadSpec(
+            protocol="TGDH",
+            arrival="trace",
+            trace=({"at_ms": 1.0, "group": 0, "action": "defect"},),
+        )
+
+
+def test_spec_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown workload spec keys"):
+        WorkloadSpec.from_spec({"protocol": "TGDH", "colour": "red"})
+
+
+def test_spec_rejects_trace_beyond_group_count():
+    with pytest.raises(ValueError, match="has only 2 groups"):
+        WorkloadSpec(
+            protocol="TGDH",
+            groups=2,
+            arrival="trace",
+            trace=({"at_ms": 1.0, "group": 5, "action": "join"},),
+        )
+
+
+# -- arrival processes ------------------------------------------------------
+
+
+ARRIVAL_ARGS = dict(
+    groups=4, group_size=4, rate_hz=50.0, duration_ms=1000.0, seed=7
+)
+
+
+@pytest.mark.parametrize(
+    "stream", [poisson_stream, flash_stream, diurnal_stream]
+)
+def test_streams_are_seed_deterministic(stream):
+    first = stream(**ARRIVAL_ARGS)
+    second = stream(**ARRIVAL_ARGS)
+    assert first == second
+    assert first  # the parameters produce a non-empty stream
+    other = stream(**{**ARRIVAL_ARGS, "seed": 8})
+    assert first != other
+
+
+@pytest.mark.parametrize(
+    "stream", [poisson_stream, flash_stream, diurnal_stream]
+)
+def test_streams_are_time_ordered_and_in_range(stream):
+    events = stream(**ARRIVAL_ARGS)
+    times = [event.at_ms for event in events]
+    assert times == sorted(times)
+    assert all(0 <= t < ARRIVAL_ARGS["duration_ms"] for t in times)
+    assert all(0 <= e.group < ARRIVAL_ARGS["groups"] for e in events)
+
+
+@pytest.mark.parametrize(
+    "stream", [poisson_stream, flash_stream, diurnal_stream]
+)
+def test_streams_never_drain_a_group_below_minimum(stream):
+    """The feasibility invariant: replaying the population arithmetic
+    never dips below min_members at any prefix of the stream."""
+    events = stream(**ARRIVAL_ARGS, min_members=2)
+    populations = [ARRIVAL_ARGS["group_size"]] * ARRIVAL_ARGS["groups"]
+    for event in events:
+        populations[event.group] += 1 if event.action == "join" else -1
+        assert populations[event.group] >= 2
+    assert populations == stream_populations(
+        events, ARRIVAL_ARGS["groups"], ARRIVAL_ARGS["group_size"]
+    )
+
+
+def test_flash_burst_lands_at_the_requested_instant():
+    events = flash_stream(**ARRIVAL_ARGS, burst_at_ms=400.0, burst_joins=6)
+    background = poisson_stream(**ARRIVAL_ARGS)
+    burst = [e for e in events if e not in background]
+    assert len(burst) >= 6
+    joins = [e for e in burst if e.action == "join" and e.at_ms >= 400.0]
+    assert len(joins) >= 6
+    assert min(e.at_ms for e in joins) == 400.0
+
+
+def test_trace_stream_orders_and_validates():
+    events = trace_stream(
+        [
+            {"at_ms": 30.0, "group": 1, "action": "leave"},
+            {"at_ms": 10.0, "group": 0, "action": "join"},
+            ChurnEvent(20.0, 0, "leave"),
+        ],
+        groups=2,
+    )
+    assert [e.at_ms for e in events] == [10.0, 20.0, 30.0]
+    with pytest.raises(ValueError, match="missing 'at_ms'"):
+        trace_stream([{"group": 0, "action": "join"}])
+
+
+# -- the engine -------------------------------------------------------------
+
+
+def _small_spec(**overrides):
+    base = dict(
+        protocol="TGDH",
+        arrival="poisson",
+        groups=2,
+        group_size=3,
+        rate_hz=10.0,
+        duration_ms=400.0,
+        seed=7,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+def test_run_workload_converges_and_counts():
+    result = run_workload(_small_spec())
+    assert result.converged
+    assert result.converged_groups == result.groups == 2
+    assert result.events == result.joins + result.leaves
+    assert result.skipped == 0
+    assert result.member_epochs > 0
+    assert result.throughput_eps > 0
+    assert result.rekey_p50_ms > 0
+    assert result.rekey_p50_ms <= result.rekey_p95_ms <= result.rekey_p99_ms
+    assert result.makespan_ms >= result.last_injection_ms
+
+
+def test_run_workload_is_deterministic():
+    first = run_workload(_small_spec())
+    second = run_workload(_small_spec())
+    assert first.to_dict() == second.to_dict()
+
+
+def test_result_roundtrips_through_dict():
+    result = run_workload(_small_spec())
+    data = result.to_dict()
+    assert data["converged"] is True
+    rebuilt = type(result).from_dict(json.loads(json.dumps(data)))
+    assert rebuilt.to_dict() == data
+
+
+def test_groups_keep_distinct_keys():
+    """Multi-group isolation: concurrent groups on the same daemons end
+    converged on *different* group keys."""
+    engine = WorkloadEngine(_small_spec(groups=3))
+    engine.run()
+    keys = []
+    for group, roster in engine.rosters.items():
+        assert group_converged(roster), f"group {group} did not converge"
+        keys.append(roster[0].protocol.key)
+    assert len(set(keys)) == len(keys)
+
+
+def test_faults_compose_with_churn():
+    spec = _small_spec(
+        protocol="GDH",
+        faults=(
+            {
+                "at_ms": 150.0,
+                "action": "partition",
+                "components": [[0, 1, 2, 3, 4, 5, 6], [7, 8, 9, 10, 11, 12]],
+            },
+            {"at_ms": 300.0, "action": "heal"},
+        ),
+    )
+    result = run_workload(spec)
+    assert result.converged
+    assert result.last_injection_ms >= 300.0
+
+
+def test_trace_replay_drives_exact_events():
+    spec = _small_spec(
+        arrival="trace",
+        trace=(
+            {"at_ms": 50.0, "group": 0, "action": "join"},
+            {"at_ms": 120.0, "group": 1, "action": "leave"},
+            {"at_ms": 200.0, "group": 0, "action": "leave"},
+        ),
+    )
+    engine = WorkloadEngine(spec)
+    result = engine.run()
+    assert result.converged
+    assert result.events == 3
+    assert result.joins == 1 and result.leaves == 2
+    assert len(engine.rosters[0]) == 3  # 3 + 1 join - 1 leave
+    assert len(engine.rosters[1]) == 2
+
+
+def test_engine_rejects_unknown_topology():
+    with pytest.raises(ValueError, match="unknown topology"):
+        WorkloadEngine(_small_spec(), topology="metro")
