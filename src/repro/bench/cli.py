@@ -179,10 +179,13 @@ def build_common_parser() -> argparse.ArgumentParser:
     """The options every subcommand shares (used via ``parents=``)."""
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
-        "--engine", choices=("real", "symbolic"), default=None,
+        "--engine",
+        choices=("real", "real:gmpy2", "real:python", "symbolic"),
+        default=None,
         help="crypto engine (default: real bignum arithmetic; scale and "
         "chaos default to symbolic, whose simulated times are identical "
-        "by construction)",
+        "by construction; 'real:gmpy2'/'real:python' pin the bignum "
+        "backend explicitly, overriding REPRO_BIGNUM)",
     )
     common.add_argument(
         "--seed", type=int, default=0, help="simulation seed"
@@ -265,6 +268,16 @@ def _add_testbed_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--dh-group", default="dh-512", help="DH group (default dh-512)"
+    )
+
+
+def _add_shard_crypto_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shard-crypto", dest="shard_crypto", type=int, default=0,
+        metavar="N",
+        help="worker processes for intra-epoch crypto sharding on the "
+        "real engine (default 0: off); results are bit-identical — the "
+        "workers only pre-warm the engine's power cache",
     )
 
 
@@ -367,6 +380,7 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "rekey-latency percentile table (observability is passive, so "
         "the measured times are unchanged)",
     )
+    _add_shard_crypto_option(scale)
     _add_pool_options(scale)
     scale.set_defaults(engine="symbolic", out="BENCH_scale.json")
 
@@ -482,6 +496,14 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         help="where to write the wall-clock comparison artifact "
         "(default BENCH_wallclock.json)",
     )
+    profile.add_argument(
+        "--max-wall-regression", dest="max_wall_regression", type=float,
+        default=None, metavar="RATIO",
+        help="fail (exit 1) when current/baseline total wall-clock "
+        "exceeds this ratio; values below 1.0 require a speedup over "
+        "the committed baseline (CI gates at 0.6)",
+    )
+    _add_shard_crypto_option(profile)
     profile.set_defaults(engine="real", out="BENCH_profile.json")
 
     live = sub.add_parser(
@@ -626,6 +648,7 @@ def run_scale_command(args) -> int:
         observe=args.observe,
         progress=lambda line: print(f"  {line}", flush=True),
         metrics=metrics,
+        shard_jobs=args.shard_crypto,
         **_pool_kwargs(args),
     )
     write_scale_json(
@@ -789,6 +812,7 @@ def run_profile_command(args) -> int:
         with_profiler=args.with_profiler,
         metrics=metrics,
         progress=lambda line: print(f"  {line}", flush=True),
+        shard_jobs=args.shard_crypto,
     )
     write_json(args.out, profile_doc)
     baseline = None
@@ -801,9 +825,19 @@ def run_profile_command(args) -> int:
                   "writing current numbers only")
         else:
             recorded = baseline.get("spec", {})
+
+            def canon(key, value):
+                # 'real:gmpy2' and 'real' are the same engine (the
+                # backend changes wall-clock only), so they compare.
+                if key == "engine" and isinstance(value, str):
+                    return value.split(":", 1)[0]
+                return value
+
             mismatched = [
                 key for key in ("group_size", "engine", "topology", "dh_group", "seed")
-                if key in recorded and recorded[key] != profile_doc["spec"][key]
+                if key in recorded
+                and canon(key, recorded[key])
+                != canon(key, profile_doc["spec"][key])
             ]
             if mismatched:
                 # Comparing sweeps with different specs would report a
@@ -813,7 +847,10 @@ def run_profile_command(args) -> int:
                     f"different {'/'.join(mismatched)}; skipping comparison"
                 )
                 baseline = None
-    wallclock = wallclock_document(profile_doc, baseline)
+    wallclock = wallclock_document(
+        profile_doc, baseline,
+        max_wall_regression=args.max_wall_regression,
+    )
     write_json(args.wallclock, wallclock)
     print()
     print(render_profile_table(profile_doc))
@@ -835,8 +872,25 @@ def run_profile_command(args) -> int:
                 file=sys.stderr,
             )
             return 1
+        if "wall_ok" in wallclock and not wallclock["wall_ok"]:
+            print(
+                f"error: wall-clock ratio {wallclock['wall_ratio']} "
+                f"exceeds --max-wall-regression "
+                f"{wallclock['max_wall_regression']}",
+                file=sys.stderr,
+            )
+            return 1
     else:
         print(f"wrote {args.wallclock} (no baseline comparison)")
+        if args.max_wall_regression is not None:
+            # The gate was requested but there is nothing to gate
+            # against; passing silently would mask a misconfigured CI.
+            print(
+                "error: --max-wall-regression needs a comparable "
+                "baseline",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

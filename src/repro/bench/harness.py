@@ -38,8 +38,12 @@ class ExperimentSpec:
     ``topology`` is a testbed name (``"lan"``, ``"wan"``,
     ``"medium-wan"``) or a zero-argument factory returning a
     :class:`~repro.gcs.topology.Topology`.  ``engine`` is a crypto engine
-    spec (``None``/``"real"``/``"symbolic"`` or an instance, see
-    :func:`repro.crypto.engine.get_engine`).
+    spec (``None``/``"real"``/``"symbolic"``/``"real:<backend>"`` or an
+    instance, see :func:`repro.crypto.engine.get_engine`).
+    ``shard_jobs`` shards each rekey epoch's member crypto across that
+    many worker processes (real engine only; 0 disables) — a pure
+    wall-clock optimization, bit-identical simulated results (see
+    :mod:`repro.crypto.parallel`).
     """
 
     protocol: str
@@ -51,6 +55,7 @@ class ExperimentSpec:
     seed: int = 0
     breakdown: bool = False
     engine: Union[None, str, CryptoEngine] = None
+    shard_jobs: int = 0
 
     def __post_init__(self):
         if self.event not in ("join", "leave"):
@@ -72,13 +77,18 @@ class ExperimentSpec:
 
     def build_framework(self, observe: Optional[bool] = None) -> SecureSpreadFramework:
         """A fresh framework configured for this cell."""
+        engine = self.engine
+        if self.shard_jobs:
+            from repro.crypto.engine import sharded_engine
+
+            engine = sharded_engine(engine, self.shard_jobs)
         return SecureSpreadFramework(
             self.topology_factory()(),
             default_protocol=self.protocol,
             dh_group=self.dh_group,
             seed=self.seed,
             observe=self.breakdown if observe is None else observe,
-            engine=self.engine,
+            engine=engine,
         )
 
 

@@ -69,6 +69,7 @@ def _timed_cell(
         repeats=1,
         seed=int(spec.get("seed", 0)),
         engine=spec.get("engine", PROFILE_ENGINE),
+        shard_jobs=int(spec.get("shard_jobs", 0)),
     )
     phases: Dict[str, float] = {}
 
@@ -147,6 +148,7 @@ def profile_micro_sweep(
     with_profiler: bool = True,
     metrics: Optional[MetricsRegistry] = None,
     progress=None,
+    shard_jobs: int = 0,
 ) -> dict:
     """Run the fixed micro-sweep; return the profile document.
 
@@ -165,6 +167,8 @@ def profile_micro_sweep(
             "dh_group": dh_group,
             "seed": seed,
         }
+        if shard_jobs:
+            spec["shard_jobs"] = shard_jobs
         cell = _timed_cell(spec, metrics=metrics)
         total += cell["wall_s"]
         if with_profiler:
@@ -177,28 +181,42 @@ def profile_micro_sweep(
         cells[protocol] = cell
         if progress is not None:
             progress(f"{protocol} n={size}: {cell['wall_s']:.2f}s wall")
+    doc_spec = {
+        "protocols": list(protocols),
+        "group_size": size,
+        "engine": engine,
+        "topology": topology,
+        "dh_group": dh_group,
+        "seed": seed,
+    }
+    if shard_jobs:
+        doc_spec["shard_jobs"] = shard_jobs
     return {
         "schema": "repro.bench.profile/1",
-        "spec": {
-            "protocols": list(protocols),
-            "group_size": size,
-            "engine": engine,
-            "topology": topology,
-            "dh_group": dh_group,
-            "seed": seed,
-        },
+        "spec": doc_spec,
         "total_wall_s": round(total, 4),
         "cells": cells,
     }
 
 
-def wallclock_document(profile_doc: dict, baseline: Optional[dict]) -> dict:
+def wallclock_document(
+    profile_doc: dict,
+    baseline: Optional[dict],
+    max_wall_regression: Optional[float] = None,
+) -> dict:
     """The wall-clock artifact: current sweep vs the committed baseline.
 
     ``sim_identical`` is the load-bearing field: wall-clock numbers vary
     with the host, but the simulated join/leave times of the same spec
     are deterministic — any mismatch means an optimization changed
     behaviour, which the whole PR-5 contract forbids.
+
+    ``max_wall_regression`` optionally turns the wall-clock comparison
+    into a (tolerant) gate: ``wall_ok`` is False when the current total
+    exceeds ``baseline_total * max_wall_regression``.  The tolerance
+    absorbs host variance; values below 1.0 *require* a speedup over
+    the committed baseline (the CI trajectory gate runs at 0.6 against
+    the pre-optimization baseline).
     """
     current = {
         "total_wall_s": profile_doc["total_wall_s"],
@@ -237,6 +255,15 @@ def wallclock_document(profile_doc: dict, baseline: Optional[dict]) -> dict:
             round(base_total / cur_total, 2) if cur_total else None
         )
         document["sim_identical"] = identical
+        if max_wall_regression is not None:
+            ratio = (cur_total / base_total) if base_total else None
+            document["wall_ratio"] = (
+                round(ratio, 3) if ratio is not None else None
+            )
+            document["max_wall_regression"] = max_wall_regression
+            document["wall_ok"] = (
+                ratio is not None and ratio <= max_wall_regression
+            )
     return document
 
 

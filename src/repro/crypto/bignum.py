@@ -1,0 +1,205 @@
+"""Optional compiled bignum backends behind one tiny seam.
+
+The real engine's wall-clock cost is dominated by modular
+exponentiation over ``p``.  CPython's ``pow`` is a fine baseline, but a
+GMP-backed path (``gmpy2.powmod`` over ``mpz``) computes the *same*
+integers several times faster.  This module is the seam between the two:
+
+:class:`PythonBackend`
+    The always-available fallback — plain builtins, zero dependencies.
+    Tier-1 CI runs exclusively on this backend.
+
+:class:`Gmpy2Backend`
+    Available only when :mod:`gmpy2` is importable.  Operands are lifted
+    to ``mpz`` (:meth:`wrap`) and every public result is lowered back to
+    ``int`` (:meth:`unwrap`), so nothing downstream — pickling, message
+    serialization, ``isinstance(x, int)`` membership checks — can ever
+    observe the backend.
+
+Both backends compute identical values on identical inputs (GMP and
+CPython implement the same mathematics), so swapping backends is
+behavior-transparent end to end: the ``bignum-identity`` CI job pins
+this by running the same sweep under each backend and ``cmp``-ing the
+artifacts byte for byte.
+
+Selection order for :func:`get_backend`: an explicit argument (e.g. the
+``backend=`` keyword of :class:`~repro.crypto.engine.RealEngine`) wins;
+otherwise the ``REPRO_BIGNUM`` environment variable (``auto`` /
+``gmpy2`` / ``python``); ``auto`` — the default — uses gmpy2 when
+importable and pure python otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover - the tier-1 path
+    _gmpy2 = None
+
+#: Environment variable consulted when no explicit backend is requested.
+ENV_VAR = "REPRO_BIGNUM"
+
+
+class BignumBackend:
+    """Interface: modular arithmetic on (possibly wrapped) integers.
+
+    ``wrap`` lifts an ``int`` into the backend's native representation
+    for repeated use (precomputed tables, accumulators); ``unwrap``
+    lowers any backend value back to a plain ``int``.  The ``*mod``
+    methods accept either representation and return backend-native
+    values — callers that hand results to protocol code must ``unwrap``.
+    """
+
+    name: str = "?"
+
+    def wrap(self, value: int):
+        raise NotImplementedError
+
+    def unwrap(self, value) -> int:
+        raise NotImplementedError
+
+    def powmod(self, base, exponent, modulus):
+        raise NotImplementedError
+
+    def mulmod(self, a, b, modulus):
+        raise NotImplementedError
+
+    def invmod(self, a, modulus):
+        """Modular inverse; raises ``ValueError`` when not invertible."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PythonBackend(BignumBackend):
+    """Pure-python builtins — the always-available fallback."""
+
+    name = "python"
+
+    def wrap(self, value: int) -> int:
+        return value
+
+    def unwrap(self, value) -> int:
+        return value
+
+    def powmod(self, base, exponent, modulus):
+        return pow(base, exponent, modulus)
+
+    def mulmod(self, a, b, modulus):
+        return (a * b) % modulus
+
+    def invmod(self, a, modulus):
+        return pow(a, -1, modulus)
+
+
+class Gmpy2Backend(BignumBackend):
+    """GMP-backed arithmetic via :mod:`gmpy2` (optional extra)."""
+
+    name = "gmpy2"
+
+    def __init__(self):
+        if _gmpy2 is None:
+            raise RuntimeError(
+                "gmpy2 is not installed; install the optional extra "
+                "(pip install 'repro[fast]') or select the python "
+                "backend"
+            )
+        self._mpz = _gmpy2.mpz
+        self._powmod = _gmpy2.powmod
+        self._invert = _gmpy2.invert
+
+    def wrap(self, value: int):
+        return self._mpz(value)
+
+    def unwrap(self, value) -> int:
+        return int(value)
+
+    def powmod(self, base, exponent, modulus):
+        if exponent < 0:
+            # gmpy2.powmod handles negative exponents, but raises a
+            # ZeroDivisionError where pow raises ValueError; normalize.
+            base = self.invmod(base, modulus)
+            exponent = -exponent
+        return self._powmod(base, exponent, modulus)
+
+    def mulmod(self, a, b, modulus):
+        return self._mpz(a) * b % modulus
+
+    def invmod(self, a, modulus):
+        try:
+            return self._invert(self._mpz(a), modulus)
+        except ZeroDivisionError:
+            raise ValueError(
+                "base is not invertible for the given modulus"
+            ) from None
+
+
+#: The process-wide backend instances (gmpy2's is created lazily so the
+#: import error surfaces only when the backend is actually requested).
+PYTHON_BACKEND = PythonBackend()
+_GMPY2_BACKEND: Optional[Gmpy2Backend] = None
+
+BackendSpec = Union[None, str, BignumBackend]
+
+
+def gmpy2_available() -> bool:
+    """Whether the compiled backend can be used in this interpreter."""
+    return _gmpy2 is not None
+
+
+def available_backends() -> tuple:
+    """Names accepted by :func:`get_backend`, always-available first."""
+    names = (PythonBackend.name,)
+    if gmpy2_available():
+        names = names + (Gmpy2Backend.name,)
+    return names
+
+
+def _gmpy2_backend() -> Gmpy2Backend:
+    global _GMPY2_BACKEND
+    if _GMPY2_BACKEND is None:
+        _GMPY2_BACKEND = Gmpy2Backend()
+    return _GMPY2_BACKEND
+
+
+def get_backend(which: BackendSpec = None) -> BignumBackend:
+    """Resolve a backend spec: instance, name, or ``None`` (env / auto).
+
+    ``None`` consults ``REPRO_BIGNUM`` (``auto`` when unset).  ``auto``
+    prefers gmpy2 when importable and silently falls back to python;
+    naming ``gmpy2`` explicitly raises when it is missing, so a CI job
+    that *requires* the compiled path can never silently degrade.
+    """
+    if isinstance(which, BignumBackend):
+        return which
+    if which is None:
+        which = os.environ.get(ENV_VAR, "auto").strip().lower() or "auto"
+    if which == "auto":
+        return _gmpy2_backend() if gmpy2_available() else PYTHON_BACKEND
+    if which == PythonBackend.name:
+        return PYTHON_BACKEND
+    if which == Gmpy2Backend.name:
+        if not gmpy2_available():
+            raise ValueError(
+                "bignum backend 'gmpy2' requested but gmpy2 is not "
+                "importable; pip install 'repro[fast]' or select "
+                "'python'/'auto'"
+            )
+        return _gmpy2_backend()
+    raise ValueError(
+        f"unknown bignum backend {which!r}; expected one of "
+        f"('auto', 'python', 'gmpy2') or a BignumBackend instance"
+    )
+
+
+def backend_info() -> dict:
+    """Diagnostics for logs and ``bench`` banners (never in artifacts)."""
+    return {
+        "available": list(available_backends()),
+        "env": os.environ.get(ENV_VAR),
+        "selected": get_backend().name,
+    }

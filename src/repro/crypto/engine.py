@@ -36,6 +36,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Optional, Tuple, Union
 
+from repro.crypto.bignum import BackendSpec, BignumBackend, get_backend
 from repro.crypto.fixedbase import FixedBaseTable
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.ledger import OperationLedger
@@ -56,9 +57,10 @@ class CryptoEngine(ABC):
         """A fresh arithmetic context over ``group`` charging ``ledger``."""
 
 
-#: Shared fixed-base tables, keyed by (modulus, generator, window) — the
-#: tables are immutable and expensive enough to build once per process.
-_TABLE_CACHE: Dict[Tuple[int, int, int], FixedBaseTable] = {}
+#: Shared fixed-base tables, keyed by (modulus, generator, window,
+#: backend name) — the tables are immutable and expensive enough to
+#: build once per process.
+_TABLE_CACHE: Dict[Tuple[int, int, int, str], FixedBaseTable] = {}
 
 
 class PowerCache:
@@ -79,13 +81,15 @@ class PowerCache:
     without per-hit bookkeeping (an LRU would reorder on every hit).
     """
 
-    def __init__(self, capacity: int = 8192):
+    def __init__(self, capacity: int = 8192, backend: BackendSpec = None):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = capacity
+        self.backend: BignumBackend = get_backend(backend)
         self._values: Dict[Tuple[int, int, int], int] = {}
         self.hits = 0
         self.misses = 0
+        self.seeded = 0
 
     def __len__(self) -> int:
         return len(self._values)
@@ -97,12 +101,31 @@ class PowerCache:
             self.hits += 1
             return result
         self.misses += 1
-        result = pow(base, exponent, modulus)
+        backend = self.backend
+        result = backend.unwrap(backend.powmod(base, exponent, modulus))
         values = self._values
         if len(values) >= self.capacity:
             del values[next(iter(values))]
         values[key] = result
         return result
+
+    def seed(self, base: int, exponent: int, modulus: int, value: int) -> None:
+        """Insert a precomputed power (from a shard worker).
+
+        A cached power is a pure function of its key, so a seeded entry
+        is indistinguishable from one computed on a miss — seeding is
+        unconditionally safe, whatever the epoch-plan that produced it
+        guessed.  Existing entries win (they are identical by
+        construction; skipping keeps FIFO age intact).
+        """
+        key = (modulus, base, exponent)
+        values = self._values
+        if key in values:
+            return
+        if len(values) >= self.capacity:
+            del values[next(iter(values))]
+        values[key] = value
+        self.seeded += 1
 
 
 class RealElementContext(GroupElementContext):
@@ -116,14 +139,16 @@ class RealElementContext(GroupElementContext):
         ledger: Optional[OperationLedger] = None,
         fixed_base: Optional[FixedBaseTable] = None,
         power_cache: Optional[PowerCache] = None,
+        backend: BackendSpec = None,
     ):
-        super().__init__(group, ledger, fixed_base=fixed_base)
+        super().__init__(group, ledger, fixed_base=fixed_base, backend=backend)
         self._power_cache = power_cache
 
     def _raw_exp(self, base: int, exponent: int) -> int:
         cache = self._power_cache
         if cache is None:
-            return pow(base, exponent, self.group.p)
+            backend = self._backend
+            return backend.unwrap(backend.powmod(base, exponent, self.group.p))
         return cache.pow(base, exponent, self.group.p)
 
 
@@ -132,8 +157,13 @@ class RealEngine(CryptoEngine):
 
     ``precompute=False`` disables the windowed tables (plain ``pow``
     everywhere); ``power_cache_size=0`` disables the shared
-    exponentiation cache.  Results are bit-identical in every
-    combination.
+    exponentiation cache.  ``backend`` selects the bignum arithmetic
+    (``None`` → the ``REPRO_BIGNUM`` env var, default ``auto``; see
+    :mod:`repro.crypto.bignum`), and ``shard_jobs`` enables intra-epoch
+    crypto sharding across worker processes (see
+    :mod:`repro.crypto.parallel`).  Results are bit-identical in every
+    combination — :attr:`name` stays ``"real"`` whatever the backend,
+    so benchmark artifacts never depend on which arithmetic ran.
     """
 
     name = "real"
@@ -143,27 +173,47 @@ class RealEngine(CryptoEngine):
         precompute: bool = True,
         window: int = 6,
         power_cache_size: int = 8192,
+        backend: BackendSpec = None,
+        shard_jobs: int = 0,
     ):
         self.precompute = precompute
         self.window = window
+        self.backend: BignumBackend = get_backend(backend)
         self.power_cache: Optional[PowerCache] = (
-            PowerCache(power_cache_size) if power_cache_size else None
+            PowerCache(power_cache_size, backend=self.backend)
+            if power_cache_size
+            else None
         )
+        self.shard_pool = None
+        if shard_jobs and self.power_cache is not None:
+            from repro.crypto.parallel import EpochShardPool
+
+            self.shard_pool = EpochShardPool(
+                shard_jobs, backend=self.backend.name
+            )
 
     def context(
         self, group: SchnorrGroup, ledger: Optional[OperationLedger] = None
     ) -> GroupElementContext:
         fixed_base = self._table_for(group) if self.precompute else None
         return RealElementContext(
-            group, ledger, fixed_base=fixed_base, power_cache=self.power_cache
+            group,
+            ledger,
+            fixed_base=fixed_base,
+            power_cache=self.power_cache,
+            backend=self.backend,
         )
 
     def _table_for(self, group: SchnorrGroup) -> FixedBaseTable:
-        key = (group.p, group.g, self.window)
+        key = (group.p, group.g, self.window, self.backend.name)
         table = _TABLE_CACHE.get(key)
         if table is None:
             table = FixedBaseTable(
-                group.p, group.g, group.q_bits, window=self.window
+                group.p,
+                group.g,
+                group.q_bits,
+                window=self.window,
+                backend=self.backend,
             )
             _TABLE_CACHE[key] = table
         return table
@@ -233,17 +283,70 @@ _ENGINES: Dict[str, CryptoEngine] = {
 
 EngineSpec = Union[None, str, CryptoEngine]
 
+#: Sharded real-engine instances, keyed by (backend, precompute, window,
+#: capacity, jobs) — an EpochShardPool owns worker processes, so reuse
+#: across cells in one sweep process matters.
+_SHARDED: Dict[Tuple, "RealEngine"] = {}
+
+
+def sharded_engine(which: EngineSpec, jobs: int) -> CryptoEngine:
+    """The engine ``which`` resolves to, with intra-epoch sharding.
+
+    Only the real engine has crypto worth sharding; any other engine
+    (symbolic — or an explicit instance, whose configuration is the
+    caller's business) is returned unchanged.  ``jobs < 1`` disables
+    sharding; ``jobs == 1`` evaluates plans inline (the deterministic
+    reference path).  Instances are cached per configuration so one
+    sweep process reuses one worker pool.
+    """
+    base = get_engine(which)
+    if jobs < 1 or not isinstance(base, RealEngine) or base.shard_pool:
+        return base
+    # NB: an *empty* PowerCache is falsy (it has __len__) — test for None.
+    capacity = (
+        base.power_cache.capacity if base.power_cache is not None else 0
+    )
+    if not capacity:
+        return base  # nowhere to seed results
+    key = (base.backend.name, base.precompute, base.window, capacity, jobs)
+    engine = _SHARDED.get(key)
+    if engine is None:
+        engine = RealEngine(
+            precompute=base.precompute,
+            window=base.window,
+            power_cache_size=capacity,
+            backend=base.backend,
+            shard_jobs=jobs,
+        )
+        _SHARDED[key] = engine
+    return engine
+
 
 def get_engine(which: EngineSpec = None) -> CryptoEngine:
-    """Resolve an engine spec: ``None`` (real), a name, or an instance."""
+    """Resolve an engine spec: ``None`` (real), a name, or an instance.
+
+    Name specs may pin the real engine's bignum backend with a suffix —
+    ``"real:gmpy2"`` / ``"real:python"`` / ``"real:auto"`` — resolved
+    through :func:`repro.crypto.bignum.get_backend` and cached per spec.
+    The resolved engine still reports :attr:`~CryptoEngine.name` as
+    ``"real"``: the backend changes wall-clock only, so artifacts must
+    not record it.
+    """
     if which is None:
         return REAL_ENGINE
     if isinstance(which, CryptoEngine):
         return which
     try:
         return _ENGINES[which]
-    except (KeyError, TypeError):
-        raise ValueError(
-            f"unknown crypto engine {which!r}; expected one of "
-            f"{sorted(_ENGINES)} or a CryptoEngine instance"
-        ) from None
+    except TypeError:
+        pass
+    except KeyError:
+        if isinstance(which, str) and which.startswith(RealEngine.name + ":"):
+            backend_name = which.split(":", 1)[1]
+            engine = RealEngine(backend=get_backend(backend_name or None))
+            _ENGINES[which] = engine
+            return engine
+    raise ValueError(
+        f"unknown crypto engine {which!r}; expected one of "
+        f"{sorted(_ENGINES)}, 'real:<backend>' or a CryptoEngine instance"
+    ) from None

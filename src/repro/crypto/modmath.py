@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.crypto.bignum import BackendSpec, get_backend
 from repro.crypto.fixedbase import FixedBaseTable
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.ledger import OperationLedger
@@ -26,7 +27,11 @@ from repro.crypto.rng import DeterministicRandom
 
 
 def sliding_window_pow(
-    base: int, exponent: int, modulus: int, window: int = 4
+    base: int,
+    exponent: int,
+    modulus: int,
+    window: int = 4,
+    backend: BackendSpec = None,
 ) -> int:
     """``base^exponent mod modulus`` via a sliding window over odd powers.
 
@@ -37,12 +42,16 @@ def sliding_window_pow(
     to the built-in ``pow`` (to which negative exponents fall back).
     """
     if exponent < 0:
-        return pow(base, exponent, modulus)
-    return multi_exp(((base, exponent),), modulus, window=window)
+        chosen = get_backend(backend)
+        return chosen.unwrap(chosen.powmod(base, exponent, modulus))
+    return multi_exp(((base, exponent),), modulus, window=window, backend=backend)
 
 
 def multi_exp(
-    pairs: Sequence[Tuple[int, int]], modulus: int, window: int = 4
+    pairs: Sequence[Tuple[int, int]],
+    modulus: int,
+    window: int = 4,
+    backend: BackendSpec = None,
 ) -> int:
     """``prod b_i^{e_i} mod modulus`` — Shamir/Straus simultaneous
     exponentiation with per-base sliding windows.
@@ -55,20 +64,27 @@ def multi_exp(
     ``~b·k``, which is what makes products of many powers (a general
     weighted product of broadcast elements) cheaper than exponentiating
     factor by factor.  Exponents must be non-negative.
+
+    The ladder runs on the selected bignum backend (table entries and
+    the accumulator stay in native representation); the returned value
+    is always a plain ``int``, identical for every backend.
     """
-    filtered = [(b % modulus, e) for b, e in pairs if e > 0]
+    chosen = get_backend(backend)
+    wrap = chosen.wrap
+    wmod = wrap(modulus)
+    filtered = [(wrap(b) % wmod, e) for b, e in pairs if e > 0]
     if any(e < 0 for _, e in pairs):
         raise ValueError("multi_exp requires non-negative exponents")
     if not filtered:
-        return 1 % modulus
+        return chosen.unwrap(wrap(1) % wmod)
     mask = (1 << window) - 1
     # Odd-power tables: tables[i][t] == b_i^(2t+1) mod modulus.
-    tables: List[List[int]] = []
+    tables: List[List] = []
     for b, _ in filtered:
-        b_sq = (b * b) % modulus
+        b_sq = b * b % wmod
         row = [b]
         for _ in range((1 << (window - 1)) - 1):
-            row.append((row[-1] * b_sq) % modulus)
+            row.append(row[-1] * b_sq % wmod)
         tables.append(row)
     # Sliding-window digit placement, LSB first: per base, a list of
     # (shift, odd digit) covering the exponent exactly.
@@ -89,12 +105,73 @@ def multi_exp(
         top = max(top, shift)
     # One shared ladder, MSB down: square once per bit position, fold in
     # every base's digit at its shift.
-    acc = 1
+    acc = wrap(1)
     for position in range(top, -1, -1):
-        acc = (acc * acc) % modulus
+        acc = acc * acc % wmod
         for i, index in by_shift.get(position, ()):
-            acc = (acc * tables[i][index]) % modulus
-    return acc
+            acc = acc * tables[i][index] % wmod
+    return chosen.unwrap(acc)
+
+
+def batch_exp(
+    base: int,
+    exponents: Sequence[int],
+    modulus: int,
+    window: int = 4,
+    backend: BackendSpec = None,
+) -> List[int]:
+    """``[base^e mod modulus for e in exponents]`` over one odd-power table.
+
+    The shared-base batching primitive for epoch-level callers (GDH's
+    upflow lifts one accumulated value by many members' exponents): the
+    odd powers ``base^1, base^3, …`` are computed once and every
+    exponent reuses them, amortizing the table across the batch.  Each
+    value is bit-identical to the built-in ``pow``; exponents must be
+    non-negative.
+    """
+    if any(e < 0 for e in exponents):
+        raise ValueError("batch_exp requires non-negative exponents")
+    chosen = get_backend(backend)
+    wrap = chosen.wrap
+    unwrap = chosen.unwrap
+    wmod = wrap(modulus)
+    if not exponents:
+        return []
+    one = unwrap(wrap(1) % wmod)
+    b = wrap(base) % wmod
+    mask = (1 << window) - 1
+    b_sq = b * b % wmod
+    row = [b]
+    for _ in range((1 << (window - 1)) - 1):
+        row.append(row[-1] * b_sq % wmod)
+    results: List[int] = []
+    for e in exponents:
+        if e == 0:
+            results.append(one)
+            continue
+        # LSB-first digit placement, then one MSB-down ladder — the
+        # single-base specialization of :func:`multi_exp`.
+        digits: List[Tuple[int, int]] = []
+        shift = 0
+        while e:
+            if e & 1:
+                digit = e & mask
+                digits.append((shift, digit >> 1))
+                e >>= window
+                shift += window
+            else:
+                run = (e & -e).bit_length() - 1
+                e >>= run
+                shift += run
+        by_shift = dict(digits)
+        acc = wrap(1)
+        for position in range(shift, -1, -1):
+            acc = acc * acc % wmod
+            index = by_shift.get(position)
+            if index is not None:
+                acc = acc * row[index] % wmod
+        results.append(unwrap(acc))
+    return results
 
 
 class GroupElementContext:
@@ -116,10 +193,12 @@ class GroupElementContext:
         group: SchnorrGroup,
         ledger: Optional[OperationLedger] = None,
         fixed_base: Optional[FixedBaseTable] = None,
+        backend: BackendSpec = None,
     ):
         self.group = group
         self.ledger = ledger or OperationLedger()
         self._fixed_base = fixed_base
+        self._backend = get_backend(backend)
 
     # -- element (mod p) operations: recorded wrappers -------------------
 
@@ -185,21 +264,28 @@ class GroupElementContext:
     # stays shared, which is what keeps symbolic timings bit-identical.
 
     def _raw_exp(self, base: int, exponent: int) -> int:
-        return pow(base, exponent, self.group.p)
+        backend = self._backend
+        return backend.unwrap(backend.powmod(base, exponent, self.group.p))
 
     def _raw_exp_g(self, exponent: int) -> int:
         if self._fixed_base is not None:
             return self._fixed_base.pow(exponent)
-        return pow(self.group.g, exponent, self.group.p)
+        backend = self._backend
+        return backend.unwrap(
+            backend.powmod(self.group.g, exponent, self.group.p)
+        )
 
     def _raw_small_exp(self, base: int, exponent: int) -> int:
-        return pow(base, exponent, self.group.p)
+        backend = self._backend
+        return backend.unwrap(backend.powmod(base, exponent, self.group.p))
 
     def _raw_mul(self, a: int, b: int) -> int:
-        return (a * b) % self.group.p
+        backend = self._backend
+        return backend.unwrap(backend.mulmod(a, b, self.group.p))
 
     def _raw_inv_element(self, a: int) -> int:
-        return pow(a, -1, self.group.p)
+        backend = self._backend
+        return backend.unwrap(backend.invmod(a, self.group.p))
 
     def _raw_weighted_product(
         self, start: int, pairs: Sequence[Tuple[int, int]]
@@ -226,7 +312,9 @@ class GroupElementContext:
                 )
                 result = self._raw_mul(result, prefix)
             return result
-        return self._raw_mul(start, multi_exp(pairs, self.group.p))
+        return self._raw_mul(
+            start, multi_exp(pairs, self.group.p, backend=self._backend)
+        )
 
     # -- exponent (mod q) operations ------------------------------------
     #

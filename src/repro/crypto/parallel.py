@@ -1,0 +1,177 @@
+"""Intra-epoch crypto sharding: fan one rekey's modexps over processes.
+
+The per-member crypto of a single rekey epoch is data-parallel: when a
+broadcast round lands, every recipient independently lifts the same
+handful of blinded values with its own exponents.  The simulator
+executes those receive handlers sequentially (its event loop is single-
+threaded by design), but the *arithmetic* they will perform is known the
+instant the broadcast bucket activates — each protocol can describe it
+as :class:`PowChain`\\ s (see ``receive_plan`` on the protocol classes)
+without mutating any state.
+
+This module evaluates those chains across worker processes **between
+simulator steps** and seeds the results into the engine's shared
+:class:`~repro.crypto.engine.PowerCache`, in deterministic member order,
+before the inline handlers run.  The handlers then hit the cache instead
+of recomputing.  Transparency is structural, not best-effort:
+
+* a cached power is a pure function of its key, so a seeded entry is
+  bit-identical to what the handler would have computed;
+* the ledger wrappers still charge every call — simulated times cannot
+  change;
+* a wrong or missing plan merely wastes (or forgoes) background work —
+  the inline handler computes whatever the cache lacks.
+
+Workers receive only plain integers (chains) and return plain integers
+(powers), so the pool composes with any bignum backend and never ships
+simulator state.  Merging is deterministic: results are seeded in shard
+order, which is the original chain order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.bignum import get_backend
+
+#: One seeded cache entry: (modulus, base, exponent, value).
+Entry = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class PowChain:
+    """A dependent run of modular exponentiations, self-contained.
+
+    Starting from exponent ``start``, each base in ``bases`` is raised
+    to the running value: ``k ← base^(k mod order) mod modulus`` (the
+    ``mod order`` reduction matches the protocols' exponent handling;
+    every protocol's starting exponents are already ``< order``, so the
+    first step's reduction is the identity).  This is exactly the shape
+    of TGDH's path-key walk and STR's chain lift; single exponentiations
+    (GDH, CKD) are chains of length one.
+    """
+
+    modulus: int
+    order: int
+    start: int
+    bases: Tuple[int, ...]
+
+    def __post_init__(self):
+        if self.order < 1 or self.modulus < 1:
+            raise ValueError("modulus and order must be positive")
+
+
+def evaluate_chains(
+    chains: Sequence[PowChain], backend_name: Optional[str] = None
+) -> List[Entry]:
+    """Evaluate chains in order; one entry per *distinct* (base, exp).
+
+    Pure: depends only on the chains and the arithmetic, never on
+    simulator state.  Runs in worker processes (and inline for
+    single-job pools and tests).
+    """
+    backend = get_backend(backend_name)
+    powmod = backend.powmod
+    unwrap = backend.unwrap
+    seen: Dict[Tuple[int, int, int], int] = {}
+    entries: List[Entry] = []
+    for chain in chains:
+        k = chain.start
+        for base in chain.bases:
+            exponent = k % chain.order
+            key = (chain.modulus, base, exponent)
+            value = seen.get(key)
+            if value is None:
+                value = unwrap(powmod(base, exponent, chain.modulus))
+                seen[key] = value
+                entries.append((chain.modulus, base, exponent, value))
+            k = value
+    return entries
+
+
+def _eval_worker(payload: Tuple[List[PowChain], Optional[str]]) -> List[Entry]:
+    chains, backend_name = payload
+    return evaluate_chains(chains, backend_name)
+
+
+class EpochShardPool:
+    """Shards chain batches over worker processes, merging in order.
+
+    ``jobs=1`` evaluates inline (no processes) — the deterministic
+    reference path the tests compare against.  The executor is created
+    lazily on the first sharded batch and reused for the run's lifetime;
+    workers inherit the loaded package via fork where available.
+
+    ``min_chains`` is the break-even guard: batches smaller than it run
+    inline, because shipping two chains to a worker costs more than the
+    two modexps.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        backend: Optional[str] = None,
+        min_chains: int = 4,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.backend_name = backend
+        self.min_chains = min_chains
+        self.chains_planned = 0
+        self.entries_seeded = 0
+        self.batches = 0
+        self.plan_errors = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            from repro.bench.pool import _mp_context
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_mp_context()
+            )
+        return self._executor
+
+    def evaluate(self, chains: Sequence[PowChain]) -> List[Entry]:
+        """All distinct entries of ``chains``, in deterministic order."""
+        chains = list(chains)
+        if self.jobs == 1 or len(chains) < max(self.min_chains, 2 * self.jobs):
+            return evaluate_chains(chains, self.backend_name)
+        # Contiguous shards, merged in shard order: the concatenation
+        # is the sequential entry list up to (harmless) cross-shard
+        # duplicates, which cache seeding skips.
+        size = -(-len(chains) // self.jobs)  # ceil
+        shards = [
+            chains[start : start + size]
+            for start in range(0, len(chains), size)
+        ]
+        futures = [
+            self._pool().submit(_eval_worker, (shard, self.backend_name))
+            for shard in shards
+        ]
+        entries: List[Entry] = []
+        for future in futures:
+            entries.extend(future.result())
+        return entries
+
+    def warm(self, cache, chains: Sequence[PowChain]) -> int:
+        """Evaluate ``chains`` and seed ``cache``; returns entries seeded."""
+        chains = list(chains)
+        if not chains:
+            return 0
+        self.batches += 1
+        self.chains_planned += len(chains)
+        before = cache.seeded
+        for modulus, base, exponent, value in self.evaluate(chains):
+            cache.seed(base, exponent, modulus, value)
+        seeded = cache.seeded - before
+        self.entries_seeded += seeded
+        return seeded
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None

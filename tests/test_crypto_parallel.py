@@ -1,0 +1,146 @@
+"""Tests for intra-epoch crypto sharding (``repro.crypto.parallel``).
+
+The contract under test is transparency: sharded epoch crypto only
+pre-warms the engine's power cache, so every observable — simulated
+times, ledger charges, keys — is bit-identical to the inline run.
+"""
+
+import pytest
+
+from repro.bench.scale import run_scale_cell
+from repro.crypto.engine import (
+    PowerCache,
+    RealEngine,
+    get_engine,
+    sharded_engine,
+)
+from repro.crypto.groups import GROUP_TINY
+from repro.crypto.parallel import EpochShardPool, PowChain, evaluate_chains
+
+P, Q, G = GROUP_TINY.p, GROUP_TINY.q, GROUP_TINY.g
+
+
+def _chain(start, bases):
+    return PowChain(modulus=P, order=Q, start=start, bases=tuple(bases))
+
+
+# ---------------------------------------------------------------------------
+# chains
+
+
+def test_pow_chain_validates():
+    with pytest.raises(ValueError):
+        PowChain(modulus=P, order=0, start=3, bases=(G,))
+    with pytest.raises(ValueError):
+        PowChain(modulus=0, order=Q, start=3, bases=(G,))
+
+
+def test_evaluate_chains_matches_sequential_pow():
+    entries = evaluate_chains([_chain(7, (G, 9))])
+    v1 = pow(G, 7, P)
+    v2 = pow(9, v1 % Q, P)
+    assert entries == [(P, G, 7, v1), (P, 9, v1 % Q, v2)]
+
+
+def test_evaluate_chains_deduplicates_shared_steps():
+    # Two members lifting the same blinded value produce one entry.
+    entries = evaluate_chains([_chain(7, (G,)), _chain(7, (G, 11))])
+    assert len(entries) == 2
+    assert [e[:3] for e in entries] == [
+        (P, G, 7),
+        (P, 11, pow(G, 7, P) % Q),
+    ]
+
+
+def test_evaluate_chains_reduces_exponent_mod_order():
+    entries = evaluate_chains([_chain(Q + 5, (G,))])
+    assert entries == [(P, G, 5, pow(G, 5, P))]
+
+
+# ---------------------------------------------------------------------------
+# the shard pool
+
+
+def test_pool_rejects_zero_jobs():
+    with pytest.raises(ValueError):
+        EpochShardPool(0)
+
+
+def test_pool_inline_path_matches_reference():
+    pool = EpochShardPool(1)
+    chains = [_chain(s, (G, 9)) for s in (3, 5, 7)]
+    assert pool.evaluate(chains) == evaluate_chains(chains)
+
+
+def test_pool_process_path_matches_reference():
+    pool = EpochShardPool(2, min_chains=1)
+    chains = [_chain(s, (G, 9, 11)) for s in (3, 5, 7, 12, 13)]
+    try:
+        assert pool.evaluate(chains) == evaluate_chains(chains)
+    finally:
+        pool.close()
+
+
+def test_warm_seeds_cache_and_counts():
+    pool = EpochShardPool(1)
+    cache = PowerCache(capacity=64)
+    seeded = pool.warm(cache, [_chain(7, (G, 9))])
+    assert seeded == 2
+    assert (pool.batches, pool.chains_planned, pool.entries_seeded) == (1, 1, 2)
+    # The inline handler now hits instead of recomputing — bit-identical
+    # by construction (a cached power is a pure function of its key).
+    assert cache.pow(G, 7, P) == pow(G, 7, P)
+    assert (cache.hits, cache.misses) == (1, 0)
+    # Re-warming the same plan seeds nothing new.
+    assert pool.warm(cache, [_chain(7, (G, 9))]) == 0
+
+
+def test_seed_keeps_existing_entries():
+    cache = PowerCache(capacity=4)
+    assert cache.pow(G, 7, P) == pow(G, 7, P)
+    cache.seed(G, 7, P, 12345)  # bogus value must NOT displace the real one
+    assert cache.seeded == 0
+    assert cache.pow(G, 7, P) == pow(G, 7, P)
+
+
+# ---------------------------------------------------------------------------
+# engine resolution
+
+
+def test_get_engine_backend_suffix_is_cached():
+    engine = get_engine("real:python")
+    assert engine is get_engine("real:python")
+    assert engine.name == "real"  # artifacts never record the backend
+    assert engine.backend.name == "python"
+
+
+def test_sharded_engine_passthrough():
+    assert sharded_engine("symbolic", 4) is get_engine("symbolic")
+    assert sharded_engine("real", 0) is get_engine("real")
+
+
+def test_sharded_engine_caches_per_configuration():
+    engine = sharded_engine("real", 1)
+    assert isinstance(engine, RealEngine)
+    assert engine.shard_pool is not None
+    assert sharded_engine("real", 1) is engine
+
+
+# ---------------------------------------------------------------------------
+# end to end: a sharded scale cell is bit-identical to the plain one
+
+
+@pytest.mark.parametrize("protocol", ["TGDH", "BD"])
+def test_sharded_cell_is_bit_identical(protocol):
+    spec = {
+        "protocol": protocol,
+        "group_size": 8,
+        "engine": "real",
+        "seed": 0,
+    }
+    plain = run_scale_cell(dict(spec))
+    sharded = run_scale_cell(dict(spec, shard_jobs=1))
+    assert sharded == plain
+    pool = sharded_engine("real", 1).shard_pool
+    assert pool.plan_errors == 0
+    assert pool.chains_planned > 0
